@@ -1,0 +1,73 @@
+// Command cctinspect prints how the congestion control parameters map to
+// concrete behaviour: the CCT-indexed injection rate delays and effective
+// flow rates, the threshold weight mapping, and the recovery timer — a
+// quick way to sanity-check a parameter set before simulating it.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		limit  = flag.Int("limit", 127, "CCTI limit")
+		timer  = flag.Int("timer", 150, "CCTI timer (units of 1.024us)")
+		weight = flag.Int("threshold", 15, "threshold weight 0-15")
+		every  = flag.Int("every", 8, "print every n-th CCT row")
+	)
+	flag.Parse()
+
+	p := cc.PaperParams()
+	p.CCTILimit = uint16(*limit)
+	p.CCTITimer = uint16(*timer)
+	p.Threshold = uint8(*weight)
+	if err := p.Validate(); err != nil {
+		fmt.Println("invalid parameters:", err)
+		return
+	}
+	cfg := fabric.DefaultConfig()
+	wire := ib.MTU + ib.HeaderBytes
+	pktTime := cfg.LinkRate.TxTime(wire)
+
+	fmt.Printf("parameters: %v\n", p)
+	fmt.Printf("MTU packet: %d B payload, %d B wire, %v serialization at %.1f Gbps\n\n",
+		ib.MTU, wire, pktTime, cfg.LinkRate.Gbps())
+
+	fmt.Println("CCT (injection rate delay per index):")
+	fmt.Printf("  %5s %12s %14s %10s\n", "CCTI", "IRD", "delay/packet", "flow rate")
+	for i := 0; i <= int(p.CCTILimit); i += *every {
+		ird := p.CCT[i]
+		delay := sim.Duration(ird) * pktTime
+		rate := cfg.LinkRate.Gbps() / float64(1+ird)
+		fmt.Printf("  %5d %12d %14v %8.3fG\n", i, ird, delay, rate)
+	}
+	if int(p.CCTILimit)%*every != 0 {
+		ird := p.CCT[p.CCTILimit]
+		fmt.Printf("  %5d %12d %14v %8.3fG  (limit)\n", p.CCTILimit, ird,
+			sim.Duration(ird)*pktTime, cfg.LinkRate.Gbps()/float64(1+ird))
+	}
+
+	fmt.Printf("\nrecovery: CCTI timer %d -> one decrement per %v; full recovery from the limit in %v\n",
+		p.CCTITimer, sim.Duration(p.CCTITimer)*cc.TimerUnit,
+		sim.Duration(int(p.CCTILimit)*int(p.CCTITimer))*cc.TimerUnit)
+
+	fmt.Printf("\nthreshold weights (reference %d B = %dx switch ibuf):\n",
+		cfg.SwitchIbufBytes*p.ThresholdRefMultiple, p.ThresholdRefMultiple)
+	for w := uint8(1); w <= 15; w++ {
+		q := p
+		q.Threshold = w
+		thr := q.ThresholdBytes(cfg.SwitchIbufBytes)
+		marker := "  "
+		if w == p.Threshold {
+			marker = "->"
+		}
+		fmt.Printf("  %s weight %2d: mark above %6d B queued (~%d packets)\n",
+			marker, w, thr, thr/wire)
+	}
+}

@@ -1,0 +1,105 @@
+// Command ibccsim runs a single congestion-control scenario on an
+// InfiniBand fat-tree and prints the measured rates, e.g.:
+//
+//	ibccsim -radix 18 -fracb 100 -p 60 -cc=true
+//	ibccsim -radix 12 -lifetime 1ms              # moving hotspots
+//	ibccsim -radix 36 -warmup 10ms -measure 50ms # paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	ibcc "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ibccsim: ")
+
+	var (
+		radix    = flag.Int("radix", 18, "fat-tree crossbar radix (36 = paper's 648 nodes)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		ccOn     = flag.Bool("cc", true, "enable congestion control")
+		fracB    = flag.Int("fracb", 0, "percent of nodes that are B nodes")
+		p        = flag.Int("p", 0, "hotspot share p of B nodes (percent)")
+		fracC    = flag.Int("fracc", 80, "percent of non-B nodes that are C contributors")
+		hotspots = flag.Int("hotspots", 8, "number of hotspots")
+		lifetime = flag.Duration("lifetime", 0, "hotspot lifetime (0 = static hotspots)")
+		warmup   = flag.Duration("warmup", 4*time.Millisecond, "warmup before measurement")
+		measure  = flag.Duration("measure", 8*time.Millisecond, "measurement window")
+		quiet    = flag.Bool("q", false, "print only the summary line")
+		traceCSV = flag.String("trace", "", "write a time-series CSV (rates, CC activity) to this file")
+		traceInt = flag.Duration("traceint", 100*time.Microsecond, "trace sampling interval")
+	)
+	flag.Parse()
+
+	s := ibcc.DefaultScenario(*radix)
+	s.Seed = *seed
+	s.CCOn = *ccOn
+	s.FracBPct = *fracB
+	s.PPercent = *p
+	s.FracCOfRestPct = *fracC
+	s.NumHotspots = *hotspots
+	s.HotspotLifetime = ibcc.Duration(lifetime.Nanoseconds()) * ibcc.Nanosecond
+	s.Warmup = ibcc.Duration(warmup.Nanoseconds()) * ibcc.Nanosecond
+	s.Measure = ibcc.Duration(measure.Nanoseconds()) * ibcc.Nanosecond
+
+	start := time.Now()
+	inst, err := ibcc.Build(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *ibcc.TraceRecorder
+	if *traceCSV != "" {
+		rec = inst.AttachStandardTrace(ibcc.Duration(traceInt.Nanoseconds()) * ibcc.Nanosecond)
+	}
+	res := inst.Execute()
+	elapsed := time.Since(start)
+
+	if rec != nil {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("trace    : %d series x %d samples -> %s\n",
+				len(rec.Series()), len(rec.Series()[0].Values), *traceCSV)
+		}
+	}
+
+	if *quiet {
+		fmt.Println(res.Summary)
+		return
+	}
+	fmt.Printf("scenario : %s (%d nodes, %d switches)\n", res.Name, s.NumNodes(), *radix+*radix/2)
+	fmt.Printf("mix      : B=%d C=%d V=%d, %d hotspots, p=%d%%", res.PopB, res.PopC, res.PopV, len(res.Hotspots), *p)
+	if s.HotspotLifetime > 0 {
+		fmt.Printf(", moving every %v", s.HotspotLifetime)
+	}
+	fmt.Println()
+	fmt.Printf("cc       : on=%v", res.CCOn)
+	if res.CCOn {
+		fmt.Printf("  fecn=%d cnp=%d becn=%d maxCCTI=%d",
+			res.CCStats.FECNMarked, res.CCStats.CNPSent,
+			res.CCStats.BECNReceived, res.CCStats.MaxCCTI)
+	}
+	fmt.Println()
+	fmt.Printf("rates    : hotspots %.3f Gbps, non-hotspots %.3f Gbps, all %.3f Gbps\n",
+		res.Summary.HotspotAvgGbps, res.Summary.NonHotspotAvgGbps, res.Summary.AllAvgGbps)
+	fmt.Printf("total    : %.1f Gbps network throughput (tmax non-hotspot %.3f Gbps)\n",
+		res.Summary.TotalGbps, res.TMaxGbps)
+	fmt.Printf("latency  : %v\n", res.Latency)
+	fmt.Printf("engine   : %d events in %v (%.1fM events/s)\n",
+		res.Events, elapsed.Round(time.Millisecond),
+		float64(res.Events)/elapsed.Seconds()/1e6)
+}

@@ -1,0 +1,132 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (Table II and figures 5–10), printing the same rows
+// and series the paper reports.
+//
+//	paperbench                      # every experiment at radix 18
+//	paperbench -exp fig8            # one experiment
+//	paperbench -radix 36 -full      # paper scale and windows (slow)
+//
+// At reduced radix the hotspot lifetimes of figures 9–10 are scaled by
+// (radix/36)^2 so the ratio of lifetime to congestion-tree timescale is
+// preserved; -full restores the paper's absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	ibcc "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	var (
+		exp   = flag.String("exp", "all", "experiment: table2, fig5, fig6, fig7, fig8, fig9, fig10, all")
+		radix = flag.Int("radix", 18, "fat-tree crossbar radix (36 = paper scale)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		full  = flag.Bool("full", false, "paper-scale windows: 20 ms warmup, 100 ms measure, unscaled lifetimes")
+		pstep = flag.Int("pstep", 10, "p sweep step for figures 5-8")
+		seeds = flag.Int("seeds", 1, "seeds per Table II configuration (>1 adds confidence intervals)")
+	)
+	flag.Parse()
+
+	base := ibcc.DefaultScenario(*radix)
+	base.Seed = *seed
+	ltScale := float64(*radix) * float64(*radix) / (36 * 36)
+	if *full {
+		base.Warmup = 20 * ibcc.Millisecond
+		base.Measure = 100 * ibcc.Millisecond
+		ltScale = 1
+	}
+
+	var ps []int
+	for p := 0; p <= 100; p += *pstep {
+		ps = append(ps, p)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+
+	if want("table2") {
+		tab, err := ibcc.RunTableII(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.Print(os.Stdout)
+		fmt.Println()
+		if *seeds > 1 {
+			for _, ccOn := range []bool{false, true} {
+				s := base
+				s.CCOn = ccOn
+				m, err := ibcc.RunSeeds(s, ibcc.Seeds(*seeds))
+				if err != nil {
+					log.Fatal(err)
+				}
+				label := "Table II hotspot scenario, CC off"
+				if ccOn {
+					label = "Table II hotspot scenario, CC on"
+				}
+				m.Print(os.Stdout, label)
+			}
+			fmt.Println()
+		}
+	}
+
+	windy := []struct {
+		fig   string
+		fracB int
+	}{{"5", 25}, {"6", 50}, {"7", 75}, {"8", 100}}
+	for _, wf := range windy {
+		if !want("fig" + wf.fig) {
+			continue
+		}
+		pts, err := ibcc.RunWindySweep(base, wf.fracB, ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ibcc.PrintWindy(os.Stdout, wf.fig, wf.fracB, pts)
+		fmt.Println()
+	}
+
+	lifetimes := ibcc.PaperLifetimes(ltScale)
+	if want("fig9") {
+		for _, mix := range []struct {
+			label string
+			fracC int
+		}{{"9(a) 20% V / 80% C", 80}, {"9(b) 60% V / 40% C", 40}} {
+			s := base
+			s.FracBPct = 0
+			s.FracCOfRestPct = mix.fracC
+			pts, err := ibcc.RunMovingSweep(s, lifetimes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fig, label, _ := strings.Cut(mix.label, " ")
+			ibcc.PrintMoving(os.Stdout, fig, label+" (lifetimes x"+fmt.Sprintf("%.3f", ltScale)+")", pts)
+			fmt.Println()
+		}
+	}
+
+	if want("fig10") {
+		for _, p := range []int{30, 60, 90} {
+			s := base
+			s.FracBPct = 100
+			s.PPercent = p
+			pts, err := ibcc.RunMovingSweep(s, lifetimes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := fmt.Sprintf("100%% B nodes, p=%d (lifetimes x%.3f)", p, ltScale)
+			ibcc.PrintMoving(os.Stdout, fmt.Sprintf("10 p=%d", p), label, pts)
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
+}

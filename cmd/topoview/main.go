@@ -1,0 +1,109 @@
+// Command topoview inspects the topologies the study runs on: node and
+// link counts, routed path-length distribution, and static link-load
+// balance under all-to-all traffic; optionally a Graphviz dump.
+//
+//	topoview -topo fattree -radix 12
+//	topoview -topo fattree -radix 12 -dead 0,1     # failed spines
+//	topoview -topo torus -w 4 -h 4 -hosts 2
+//	topoview -topo karytree -k 2 -n 3 -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topoview: ")
+
+	var (
+		kind  = flag.String("topo", "fattree", "fattree, mesh, torus, karytree, chain, xbar")
+		radix = flag.Int("radix", 12, "fat-tree crossbar radix")
+		dead  = flag.String("dead", "", "comma-separated failed spines (fattree only)")
+		w     = flag.Int("w", 4, "grid width (mesh/torus)")
+		h     = flag.Int("h", 4, "grid height (mesh/torus)")
+		hosts = flag.Int("hosts", 1, "hosts per switch (mesh/torus/chain) or total (xbar)")
+		k     = flag.Int("k", 2, "arity (karytree)")
+		n     = flag.Int("n", 3, "levels (karytree) or chain length")
+		dot   = flag.String("dot", "", "write a Graphviz file")
+	)
+	flag.Parse()
+
+	var (
+		tp  *topo.Topology
+		rt  *topo.Routing
+		err error
+	)
+	switch *kind {
+	case "fattree":
+		if *dead != "" {
+			var spines []int
+			for _, f := range strings.Split(*dead, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					log.Fatalf("bad -dead list: %v", err)
+				}
+				spines = append(spines, v)
+			}
+			tp, err = topo.FatTreeDegraded(*radix, topo.DeadSpines(spines...))
+		} else {
+			tp, err = topo.FatTree(*radix)
+		}
+	case "mesh":
+		var g *topo.Grid
+		g, err = topo.Mesh2D(*w, *h, *hosts)
+		if err == nil {
+			tp, rt = g.Topology, g.DOR()
+		}
+	case "torus":
+		var g *topo.Grid
+		g, err = topo.Torus2D(*w, *h, *hosts)
+		if err == nil {
+			tp, rt = g.Topology, g.DOR()
+		}
+	case "karytree":
+		tp, err = topo.KAryNTree(*k, *n)
+	case "chain":
+		tp, err = topo.LinearChain(*n, *hosts)
+	case "xbar":
+		tp, err = topo.SingleSwitch(*hosts)
+	default:
+		log.Fatalf("unknown topology %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rt == nil {
+		if rt, err = topo.ComputeLFT(tp); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("topology: %s\n", tp.Name)
+	a, err := topo.Analyze(tp, rt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.Print(os.Stdout)
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := topo.WriteDOT(f, tp); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("graphviz -> %s\n", *dot)
+	}
+}

@@ -1,0 +1,40 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestDiagChain prints the time evolution of the chain scenario; run
+// manually with -run TestDiagChain -v while tuning.
+func TestDiagChain(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic")
+	}
+	tp, _ := topo.FatTree(4)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	for _, s := range []ib.LID{0, 2, 4} {
+		tn.flood(s, 6)
+	}
+	tn.flood(1, 4)
+	tn.net.Start()
+	var prevHot, prevVic uint64
+	step := 200 * sim.Microsecond
+	for i := 1; i <= 40; i++ {
+		tn.net.Sim().RunUntil(sim.Time(0).Add(sim.Duration(i) * step))
+		hot := tn.net.HCA(6).Counters().RxDataPayload
+		vic := tn.net.HCA(4).Counters().RxDataPayload
+		fmt.Printf("t=%5v hot=%5.2fG vic=%5.2fG ccti=[%d %d %d] vicCCTI=%d marks=%d becn=%d\n",
+			sim.Duration(i)*step,
+			float64(hot-prevHot)*8/step.Seconds()/1e9,
+			float64(vic-prevVic)*8/step.Seconds()/1e9,
+			tn.m.CCTI(0, 6), tn.m.CCTI(2, 6), tn.m.CCTI(4, 6),
+			tn.m.CCTI(1, 4),
+			tn.m.Stats().FECNMarked, tn.m.Stats().BECNReceived)
+		prevHot, prevVic = hot, vic
+	}
+}

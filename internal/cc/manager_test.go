@@ -1,0 +1,632 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// throttledFlood floods a destination while honouring the manager's
+// injection rate delay — a miniature of what internal/traffic does.
+type throttledFlood struct {
+	m           *Manager
+	cfg         fabric.Config
+	src, dst    ib.LID
+	payload     int
+	nextAllowed sim.Time
+	nextID      uint64
+}
+
+func (f *throttledFlood) Pull(now sim.Time) (*ib.Packet, sim.Time) {
+	if now < f.nextAllowed {
+		return nil, f.nextAllowed
+	}
+	payload := f.payload
+	if payload == 0 {
+		payload = ib.MTU
+	}
+	p := &ib.Packet{
+		ID: f.nextID, Type: ib.DataPacket,
+		Src: f.src, Dst: f.dst, PayloadBytes: payload,
+		MsgID: f.nextID / 2, MsgSeq: uint8(f.nextID % 2), MsgPackets: 2,
+	}
+	f.nextID++
+	ird := f.m.IRD(f.src, f.dst, p.WireBytes())
+	f.nextAllowed = now.Add(f.cfg.InjectionRate.TxTime(p.WireBytes()) + ird)
+	return p, 0
+}
+
+type testNet struct {
+	net *fabric.Network
+	m   *Manager
+}
+
+// buildCC assembles a network with the CC manager installed, optionally
+// wrapping the departure hook to observe marking per switch.
+func buildCC(t *testing.T, tp *topo.Topology, params Params, markBySwitch map[int]int) *testNet {
+	t.Helper()
+	r, err := topo.ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fabric.DefaultConfig()
+	cfg.Check = true
+	n, err := fabric.New(sim.New(), tp, r, cfg, fabric.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(n, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := m.Hooks()
+	if markBySwitch != nil && hooks.SwitchEnqueue != nil {
+		inner := hooks.SwitchEnqueue
+		hooks.SwitchEnqueue = func(sw, out int, p *ib.Packet, st fabric.PortVLState) {
+			before := p.FECN
+			inner(sw, out, p, st)
+			if !before && p.FECN {
+				markBySwitch[sw]++
+			}
+		}
+	}
+	n.SetHooks(hooks)
+	return &testNet{net: n, m: m}
+}
+
+func (tn *testNet) flood(src, dst ib.LID) {
+	tn.net.HCA(src).SetSource(&throttledFlood{
+		m: tn.m, cfg: tn.net.Config(), src: src, dst: dst,
+	})
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	tp, _ := topo.SingleSwitch(2)
+	r, _ := topo.ComputeLFT(tp)
+	n, _ := fabric.New(sim.New(), tp, r, fabric.DefaultConfig(), fabric.Hooks{})
+	p := PaperParams()
+	p.CCT = nil
+	if _, err := New(n, p); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHotspotTriggersFullCCLoop(t *testing.T) {
+	// Four senders overload one receiver behind a single crossbar: the
+	// host-facing output port crosses the threshold (Victim Mask set),
+	// FECNs flow to the hotspot, CNPs return, CCTIs rise.
+	tp, _ := topo.SingleSwitch(5)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	for s := ib.LID(1); s <= 4; s++ {
+		tn.flood(s, 0)
+	}
+	tn.net.Start()
+	tn.net.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+
+	st := tn.m.Stats()
+	if st.FECNMarked == 0 {
+		t.Fatal("no FECN marks under clear congestion")
+	}
+	if st.CNPSent == 0 || st.BECNReceived == 0 {
+		t.Fatalf("notification loop broken: %+v", st)
+	}
+	if st.MaxCCTI == 0 {
+		t.Fatal("no flow was ever throttled")
+	}
+	// Each sender should hold congestion state for its flow to host 0.
+	for s := ib.LID(1); s <= 4; s++ {
+		if tn.m.CCTI(s, 0) == 0 && tn.m.ThrottledFlows(s) == 0 {
+			t.Errorf("sender %d never throttled", s)
+		}
+	}
+	// Equilibrium check: four contributors into a 13.6G sink need each
+	// to run at ~3.4G ≈ 1/6 of line rate, i.e. CCTI around 5 with the
+	// linear CCT. Allow a broad band; collapse or runaway would leave it
+	// at 0 or 127.
+	if st.MaxCCTI > 40 {
+		t.Errorf("MaxCCTI = %d: throttling overshoot", st.MaxCCTI)
+	}
+}
+
+func TestCCRemovesHOLBlockingFatTree(t *testing.T) {
+	// Congestion spreading on the fat-tree: three contributors on
+	// distinct leaves flood host 6. All of them route via the same
+	// spine, whose input buffers fill with hotspot-bound packets; an
+	// innocent victim (host 1 on leaf 0 sending to host 4 via that
+	// spine) is HOL-blocked behind them. With the paper's parameters
+	// the contributors throttle, the tree is pruned, and the victim
+	// must recover near-full rate. This is the paper's core claim in
+	// miniature.
+	run := func(ccOn bool) (victim, hot float64, m *Manager) {
+		tp, _ := topo.FatTree(4) // 8 hosts, 2 per leaf
+		params := PaperParams()
+		// Three contributors per hotspot: size the CCT accordingly, as
+		// the paper sizes its CCT to the contributor count.
+		params.CCTILimit = 7
+		if !ccOn {
+			params.Threshold = 0 // detection disabled = CC off
+		}
+		tn := buildCC(t, tp, params, nil)
+		for _, s := range []ib.LID{0, 2, 4} {
+			tn.flood(s, 6)
+		}
+		tn.flood(1, 4) // victim: leaf0 -> spine0 -> leaf2
+		tn.net.Start()
+		// Measure after a warmup that covers the initial transient.
+		warmup, window := 2*sim.Millisecond, 6*sim.Millisecond
+		tn.net.Sim().RunUntil(sim.Time(0).Add(warmup))
+		v0 := tn.net.HCA(4).Counters().RxDataPayload
+		h0 := tn.net.HCA(6).Counters().RxBytes
+		tn.net.Sim().RunUntil(sim.Time(0).Add(warmup + window))
+		victim = float64(tn.net.HCA(4).Counters().RxDataPayload-v0) * 8 / window.Seconds()
+		hot = float64(tn.net.HCA(6).Counters().RxBytes-h0) * 8 / window.Seconds()
+		return victim, hot, tn.m
+	}
+
+	vOff, hotOff, _ := run(false)
+	vOn, hotOn, m := run(true)
+	if vOff > 8e9 {
+		t.Fatalf("victim rate %.4g without CC — scenario creates no HOL blocking", vOff)
+	}
+	if vOn < 11e9 {
+		t.Errorf("victim rate %.4g with CC on; HOL blocking not removed (off: %.4g)", vOn, vOff)
+	}
+	if vOn < 2*vOff {
+		t.Errorf("CC improved victim only %.4g -> %.4g", vOff, vOn)
+	}
+	// The bottleneck may pay a small price but must stay well utilized.
+	if hotOn < 0.75*hotOff {
+		t.Errorf("hotspot rate %.4g with CC vs %.4g without: bottleneck starved", hotOn, hotOff)
+	}
+	// The victim's flow must never have been throttled.
+	if got := m.CCTI(1, 4); got != 0 {
+		t.Errorf("victim flow CCTI = %d, want 0", got)
+	}
+}
+
+func TestRootVictimClassification(t *testing.T) {
+	// Direct unit tests of the Port VL state machine using synthetic
+	// departure states.
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	capacity := tn.net.Config().SwitchIbufBytes
+	pkt := func() *ib.Packet {
+		return &ib.Packet{Type: ib.DataPacket, Src: 0, Dst: 1, PayloadBytes: ib.MTU}
+	}
+	mark := func(st fabric.PortVLState) bool {
+		p := pkt()
+		tn.m.OnSwitchDeparture(0, 0, p, st)
+		return p.FECN
+	}
+	pp := PaperParams()
+	thr := pp.ThresholdBytes(capacity)
+
+	// Below threshold: never mark.
+	if mark(fabric.PortVLState{QueuedBytes: thr - 1, CreditBytes: capacity, CapacityBytes: capacity, HostPort: true}) {
+		t.Error("marked below threshold")
+	}
+	// Above threshold, credits available: root, marks.
+	if !mark(fabric.PortVLState{QueuedBytes: thr + 1, CreditBytes: capacity, CapacityBytes: capacity}) {
+		t.Error("root with credits did not mark")
+	}
+	// Above threshold, starved, inner port: victim, must not mark.
+	if mark(fabric.PortVLState{QueuedBytes: thr + 1, CreditBytes: 0, CapacityBytes: capacity}) {
+		t.Error("victim port marked")
+	}
+	// Above threshold, starved, host port: Victim Mask applies, marks.
+	if !mark(fabric.PortVLState{QueuedBytes: thr + 1, CreditBytes: 0, CapacityBytes: capacity, HostPort: true}) {
+		t.Error("victim-masked host port did not mark")
+	}
+	// Victim Mask disabled: starved host port must not mark.
+	p2 := PaperParams()
+	p2.VictimMaskHostPorts = false
+	tn2 := buildCC(t, tp, p2, nil)
+	probe := pkt()
+	tn2.m.OnSwitchDeparture(0, 0, probe, fabric.PortVLState{
+		QueuedBytes: thr + 1, CreditBytes: 0, CapacityBytes: capacity, HostPort: true})
+	if probe.FECN {
+		t.Error("host port marked with Victim Mask off")
+	}
+}
+
+func TestMarkingRateSpacing(t *testing.T) {
+	p := PaperParams()
+	p.MarkingRate = 3 // mark every 4th eligible packet
+	tp, _ := topo.SingleSwitch(5)
+	tn := buildCC(t, tp, p, nil)
+	for s := ib.LID(1); s <= 4; s++ {
+		tn.flood(s, 0)
+	}
+	tn.net.Start()
+	tn.net.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+	marked := tn.m.Stats().FECNMarked
+	delivered := tn.net.HCA(0).Counters().RxPackets
+	if marked == 0 {
+		t.Fatal("no marks")
+	}
+	ratio := float64(delivered) / float64(marked)
+	// Not all departures happen while congested, so the observed ratio
+	// is at least 4; it must not drop below the configured spacing.
+	if ratio < 3.9 {
+		t.Fatalf("marking ratio %.2f below configured spacing 4", ratio)
+	}
+}
+
+func TestPacketSizeEligibility(t *testing.T) {
+	p := PaperParams()
+	p.PacketSize = 1024
+	tp, _ := topo.SingleSwitch(5)
+	tn := buildCC(t, tp, p, nil)
+	for s := ib.LID(1); s <= 4; s++ {
+		src := &throttledFlood{m: tn.m, cfg: tn.net.Config(), src: s, dst: 0, payload: 512}
+		tn.net.HCA(s).SetSource(src)
+	}
+	tn.net.Start()
+	tn.net.Sim().RunUntil(sim.Time(0).Add(1 * sim.Millisecond))
+	if got := tn.m.Stats().FECNMarked; got != 0 {
+		t.Fatalf("%d sub-threshold packets marked", got)
+	}
+}
+
+func TestThresholdZeroNeverMarks(t *testing.T) {
+	p := PaperParams()
+	p.Threshold = 0
+	tp, _ := topo.SingleSwitch(5)
+	tn := buildCC(t, tp, p, nil)
+	for s := ib.LID(1); s <= 4; s++ {
+		tn.flood(s, 0)
+	}
+	tn.net.Start()
+	tn.net.Sim().RunUntil(sim.Time(0).Add(1 * sim.Millisecond))
+	if got := tn.m.Stats().FECNMarked; got != 0 {
+		t.Fatalf("threshold 0 marked %d packets", got)
+	}
+}
+
+func TestCCTILimitRespected(t *testing.T) {
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	// Inject synthetic BECNs directly at the source CA.
+	for i := 0; i < 500; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	}
+	if got := tn.m.CCTI(0, 1); got != 127 {
+		t.Fatalf("CCTI = %d, want clamped at 127", got)
+	}
+	if tn.m.Stats().BECNReceived != 500 {
+		t.Fatal("BECN counter wrong")
+	}
+}
+
+func TestCCTIIncreaseStep(t *testing.T) {
+	p := PaperParams()
+	p.CCTIIncrease = 5
+	p.CCTITimer = 0 // freeze recovery for exactness
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, p, nil)
+	for i := 0; i < 3; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	}
+	if got := tn.m.CCTI(0, 1); got != 15 {
+		t.Fatalf("CCTI = %d, want 15", got)
+	}
+}
+
+func TestCCTITimerDecay(t *testing.T) {
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	simr := tn.net.Sim()
+	for i := 0; i < 10; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	}
+	if got := tn.m.CCTI(0, 1); got != 10 {
+		t.Fatalf("CCTI = %d after 10 BECNs", got)
+	}
+	period := sim.Duration(150) * TimerUnit // 153.6 µs
+	// The timer is free-running with a per-CA phase, so after 5.5
+	// periods the flow has seen 5 or 6 decrements.
+	simr.RunUntil(sim.Time(0).Add(5*period + period/2))
+	if got := tn.m.CCTI(0, 1); got < 4 || got > 5 {
+		t.Fatalf("CCTI = %d after 5.5 timer periods, want 4..5", got)
+	}
+	// After enough periods the flow fully recovers and leaves the table.
+	simr.RunUntil(sim.Time(0).Add(20 * period))
+	if got := tn.m.CCTI(0, 1); got != 0 {
+		t.Fatalf("CCTI = %d, want fully recovered", got)
+	}
+	if tn.m.ThrottledFlows(0) != 0 {
+		t.Fatal("recovered flow still in table")
+	}
+	if tn.m.Stats().TimerDecrements != 10 {
+		t.Fatalf("decrements = %d", tn.m.Stats().TimerDecrements)
+	}
+}
+
+func TestTimerDisabled(t *testing.T) {
+	p := PaperParams()
+	p.CCTITimer = 0
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, p, nil)
+	tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	tn.net.Sim().RunUntil(sim.Time(0).Add(10 * sim.Millisecond))
+	if got := tn.m.CCTI(0, 1); got != 1 {
+		t.Fatalf("CCTI = %d, want frozen at 1", got)
+	}
+}
+
+func TestIRDValues(t *testing.T) {
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	wire := ib.MTU + ib.HeaderBytes
+	if got := tn.m.IRD(0, 1, wire); got != 0 {
+		t.Fatalf("unthrottled IRD = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	}
+	want := sim.Duration(4) * tn.net.Config().LinkRate.TxTime(wire)
+	if got := tn.m.IRD(0, 1, wire); got != want {
+		t.Fatalf("IRD = %v, want %v (4 packet times)", got, want)
+	}
+	// Monotone in CCTI.
+	prev := sim.Duration(0)
+	for i := 0; i < 100; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+		cur := tn.m.IRD(0, 1, wire)
+		if cur < prev {
+			t.Fatalf("IRD decreased at step %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestBECNOnACKMode(t *testing.T) {
+	p := PaperParams()
+	p.BECNOnACK = true
+	tp, _ := topo.SingleSwitch(5)
+	tn := buildCC(t, tp, p, nil)
+	for s := ib.LID(1); s <= 4; s++ {
+		tn.flood(s, 0)
+	}
+	tn.net.Start()
+	tn.net.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+
+	st := tn.m.Stats()
+	if st.CNPSent != 0 {
+		t.Fatalf("ACK mode sent %d CNPs", st.CNPSent)
+	}
+	if st.ACKSent == 0 || st.BECNReceived == 0 || st.MaxCCTI == 0 {
+		t.Fatalf("ACK notification loop broken: %+v", st)
+	}
+	// Every completed message is acknowledged exactly once.
+	delivered := tn.net.HCA(0).Counters().RxDataPayload / uint64(ib.MessageBytes)
+	if st.ACKSent < delivered-1 || st.ACKSent > delivered+1 {
+		t.Fatalf("acks = %d for %d delivered messages", st.ACKSent, delivered)
+	}
+	// The senders received those acknowledgements.
+	var acks uint64
+	for s := ib.LID(1); s <= 4; s++ {
+		acks += tn.net.HCA(s).Counters().RxAck
+	}
+	if acks == 0 {
+		t.Fatal("no ACKs delivered to sources")
+	}
+	// Coalescing: BECNs cannot exceed one per message.
+	if st.BECNReceived > st.ACKSent {
+		t.Fatalf("BECNs %d exceed ACKs %d", st.BECNReceived, st.ACKSent)
+	}
+	// The loop must still resolve congestion comparably to CNP mode.
+	for s := ib.LID(1); s <= 4; s++ {
+		if tn.m.CCTI(s, 0) == 0 && tn.m.ThrottledFlows(s) == 0 {
+			t.Errorf("sender %d never throttled in ACK mode", s)
+		}
+	}
+}
+
+func TestSLLevelSharesThrottleState(t *testing.T) {
+	p := PaperParams()
+	p.SLLevel = true
+	tp, _ := topo.SingleSwitch(4)
+	tn := buildCC(t, tp, p, nil)
+	// BECNs for the flow to host 1 ...
+	for i := 0; i < 10; i++ {
+		tn.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	}
+	// ... raise the CCTI seen by every destination of host 0.
+	if got := tn.m.CCTI(0, 1); got != 10 {
+		t.Fatalf("CCTI(0,1) = %d", got)
+	}
+	if got := tn.m.CCTI(0, 2); got != 10 {
+		t.Fatalf("CCTI(0,2) = %d: SL-level state not shared", got)
+	}
+	wire := ib.MTU + ib.HeaderBytes
+	if tn.m.IRD(0, 2, wire) == 0 {
+		t.Fatal("unrelated flow not throttled at SL level")
+	}
+	// Other hosts are unaffected.
+	if got := tn.m.CCTI(2, 1); got != 0 {
+		t.Fatalf("CCTI(2,1) = %d", got)
+	}
+	// At QP level the same BECNs leave other destinations alone.
+	q := PaperParams()
+	tn2 := buildCC(t, tp, q, nil)
+	tn2.m.OnDeliver(0, &ib.Packet{Type: ib.CNPPacket, BECN: true, Src: 1, Dst: 0})
+	if got := tn2.m.CCTI(0, 2); got != 0 {
+		t.Fatalf("QP-level leaked state: CCTI(0,2) = %d", got)
+	}
+}
+
+func TestDegradedFatTreeInnerRootCongestion(t *testing.T) {
+	// Kill two of three spines: uniform all-to-all traffic then
+	// oversubscribes the surviving uplinks — congestion whose roots
+	// are inner switch ports, not endpoints (the intro's re-routing
+	// scenario). CC must detect it via the root-credit test (the
+	// Victim Mask does not apply to switch-to-switch ports) and help.
+	run := func(ccOn bool) (total float64, marks uint64) {
+		tp, err := topo.FatTreeDegraded(6, topo.DeadSpines(0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := topo.ComputeLFT(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fabric.DefaultConfig()
+		cfg.Check = true
+		n, err := fabric.New(sim.New(), tp, r, cfg, fabric.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := PaperParams()
+		params.CCTILimit = 15
+		if !ccOn {
+			params.Threshold = 0
+		}
+		m, err := New(n, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetHooks(m.Hooks())
+		// Every host floods the host "opposite" it on another leaf.
+		nh := tp.NumHosts
+		for s := 0; s < nh; s++ {
+			dst := ib.LID((s + nh/2) % nh)
+			src := &throttledFlood{m: m, cfg: cfg, src: ib.LID(s), dst: dst}
+			n.HCA(ib.LID(s)).SetSource(src)
+		}
+		n.Start()
+		window := 4 * sim.Millisecond
+		n.Sim().RunUntil(sim.Time(0).Add(window))
+		var delivered uint64
+		for s := 0; s < nh; s++ {
+			delivered += n.HCA(ib.LID(s)).Counters().RxDataPayload
+		}
+		return float64(delivered) * 8 / window.Seconds() / 1e9, m.Stats().FECNMarked
+	}
+	totalOff, _ := run(false)
+	totalOn, marks := run(true)
+	if marks == 0 {
+		t.Fatal("no inner-root marking under rerouting congestion")
+	}
+	// This scenario is purely fabric-limited: there are no victim
+	// flows to rescue, so throttling cannot help and costs throughput
+	// relative to plain backpressure — the "can congestion control be
+	// harmful" concern the paper's conclusion raises, answered
+	// positively here for a case outside the paper's scope (see
+	// EXPERIMENTS.md). The assertions pin that the effect exists but
+	// stays bounded.
+	if totalOn > totalOff {
+		t.Fatalf("unexpected: CC beat backpressure on a bisection-limited fabric (%.1f vs %.1f)",
+			totalOn, totalOff)
+	}
+	if totalOn < 0.35*totalOff {
+		t.Fatalf("CC collapsed degraded fabric beyond the documented effect: %.1f vs %.1f Gbps",
+			totalOn, totalOff)
+	}
+}
+
+func TestCCDeterminism(t *testing.T) {
+	run := func() Stats {
+		tp, _ := topo.LinearChain(2, 5)
+		tn := buildCC(t, tp, PaperParams(), nil)
+		for s := ib.LID(0); s < 4; s++ {
+			tn.flood(s, 5)
+		}
+		tn.flood(4, 6)
+		tn.net.Start()
+		tn.net.Sim().RunUntil(sim.Time(0).Add(1 * sim.Millisecond))
+		return tn.m.Stats()
+	}
+	if run() != run() {
+		t.Fatal("CC runs diverged")
+	}
+}
+
+func TestMarkingCounterPerPortVL(t *testing.T) {
+	// The marking-rate counter is maintained per (port, VL): spacing on
+	// one output must not consume the budget of another.
+	p := PaperParams()
+	p.MarkingRate = 1 // mark every 2nd eligible packet
+	tp, _ := topo.SingleSwitch(3)
+	tn := buildCC(t, tp, p, nil)
+	capacity := tn.net.Config().SwitchIbufBytes
+	pp := PaperParams()
+	st := fabric.PortVLState{
+		QueuedBytes:   pp.ThresholdBytes(capacity) + 1,
+		CreditBytes:   capacity,
+		CapacityBytes: capacity,
+	}
+	mark := func(out int) bool {
+		pkt := &ib.Packet{Type: ib.DataPacket, Src: 0, Dst: 1, PayloadBytes: ib.MTU}
+		tn.m.OnSwitchEnqueue(0, out, pkt, st)
+		return pkt.FECN
+	}
+	// Port 0: skip, mark, skip, mark...
+	if mark(0) {
+		t.Fatal("first eligible packet marked with rate 1")
+	}
+	if !mark(0) {
+		t.Fatal("second eligible packet not marked")
+	}
+	// Port 1 has its own counter, unaffected by port 0's state.
+	if mark(1) {
+		t.Fatal("port 1 counter contaminated by port 0")
+	}
+	if !mark(1) {
+		t.Fatal("port 1 spacing broken")
+	}
+}
+
+func TestCCWithStoreAndForwardFabric(t *testing.T) {
+	// The CC loop is timing-sensitive; it must still converge when the
+	// fabric uses store-and-forward switching.
+	tp, _ := topo.SingleSwitch(5)
+	r, _ := topo.ComputeLFT(tp)
+	cfg := fabric.DefaultConfig()
+	cfg.Check = true
+	cfg.CutThrough = false
+	n, err := fabric.New(sim.New(), tp, r, cfg, fabric.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(n, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHooks(m.Hooks())
+	for s := ib.LID(1); s <= 4; s++ {
+		n.HCA(s).SetSource(&throttledFlood{m: m, cfg: cfg, src: s, dst: 0})
+	}
+	n.Start()
+	n.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+	if m.Stats().BECNReceived == 0 || m.Stats().MaxCCTI == 0 {
+		t.Fatalf("CC loop dead under store-and-forward: %+v", m.Stats())
+	}
+}
+
+func TestHooksWired(t *testing.T) {
+	tp, _ := topo.SingleSwitch(2)
+	tn := buildCC(t, tp, PaperParams(), nil)
+	h := tn.m.Hooks()
+	if h.SwitchEnqueue == nil || h.Deliver == nil {
+		t.Fatal("hooks missing")
+	}
+	if h.SwitchDeparture != nil {
+		t.Fatal("departure hook installed in arrival mode")
+	}
+	if tn.m.Params().Threshold != 15 {
+		t.Fatal("params accessor wrong")
+	}
+	// Departure sampling swaps the hook points.
+	p := PaperParams()
+	p.MarkOnDeparture = true
+	tp2, _ := topo.SingleSwitch(2)
+	tn2 := buildCC(t, tp2, p, nil)
+	h = tn2.m.Hooks()
+	if h.SwitchDeparture == nil || h.SwitchEnqueue != nil {
+		t.Fatal("departure mode hooks wrong")
+	}
+}

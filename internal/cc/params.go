@@ -1,0 +1,153 @@
+// Package cc implements the InfiniBand congestion control mechanism of
+// spec release 1.2.1 as the paper describes it: switches detect
+// congestion per output Port VL via a threshold and root/victim test and
+// FECN-mark departing packets; destination channel adapters bounce each
+// FECN as a BECN-carrying CNP; source channel adapters throttle the
+// marked flow through a Congestion Control Table indexed by a per-flow
+// CCTI that BECNs increase and a periodic timer decays. CC operates at
+// the QP (source–destination flow) level throughout, as in the paper.
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TimerUnit is the granularity of the CCTI Timer field (IB spec: the
+// timer period is the field value in units of 1.024 µs).
+const TimerUnit = 1024 * sim.Nanosecond
+
+// Params are the congestion control parameters a Congestion Control
+// Manager distributes to switches and channel adapters.
+type Params struct {
+	// CCTIIncrease is added to a flow's CCTI for every BECN received.
+	CCTIIncrease uint16
+	// CCTILimit caps the CCTI.
+	CCTILimit uint16
+	// CCTIMin is the floor the timer decays the CCTI towards.
+	CCTIMin uint16
+	// CCTITimer is the decay period in units of TimerUnit (1.024 µs);
+	// zero disables recovery.
+	CCTITimer uint16
+	// Threshold is the switch congestion threshold weight, 0–15.
+	// 0 never marks; 1 is the highest (most tolerant) threshold, 15 the
+	// lowest (most aggressive), uniformly spaced per the spec.
+	Threshold uint8
+	// MarkingRate is the mean number of eligible packets sent between
+	// FECN marks; 0 marks every eligible packet.
+	MarkingRate uint16
+	// PacketSize is the minimum payload, in bytes, for a packet to be
+	// eligible for marking; 0 marks all sizes.
+	PacketSize int
+	// VictimMaskHostPorts sets the Victim Mask on switch ports that
+	// attach HCAs, so those ports enter the congestion state without
+	// the root-credit test — an HCA never detects congestion itself.
+	VictimMaskHostPorts bool
+	// RootMinCreditBytes is the credit level at or above which a Port
+	// VL counts as a congestion root (it "has available credits to
+	// output data"); below it the port is treated as a victim. The
+	// default is one full-size packet.
+	RootMinCreditBytes int
+	// ThresholdRefMultiple scales the reference capacity the threshold
+	// weight is applied to. The congestion a switch must detect spans
+	// the VoQs of several input ports, so the reference is a multiple
+	// of one input buffer (the exact semantics are implementation-
+	// defined by the spec; this is this switch model's definition).
+	ThresholdRefMultiple int
+	// BECNOnACK returns BECNs on reliable-connection acknowledgements
+	// instead of explicit CNPs: the destination CA acknowledges every
+	// message, setting the ACK's BECN bit when any packet of the
+	// message carried a FECN. The spec allows either path; ACKs add a
+	// constant reverse-direction message stream but coalesce the
+	// congestion feedback to one notification per message.
+	BECNOnACK bool
+	// SLLevel makes the source CA throttle at the service-level
+	// granularity instead of per QP: one CCTI per (CA, SL) shared by
+	// every flow of that SL. The paper warns this "will have a negative
+	// impact on both fairness and performance" because one congested
+	// flow then slows unrelated flows from the same host; the ablation
+	// benchmark quantifies it. All study traffic runs on SL 0.
+	SLLevel bool
+	// MarkOnDeparture samples the Port VL congestion state when a
+	// packet leaves the output queue instead of when it joins it
+	// (the more literal spec reading; the default samples at arrival,
+	// RED-style). With the model's shallow IB-like buffers the two
+	// measure equivalently; the ablation benchmark compares them.
+	MarkOnDeparture bool
+	// CCT is the Congestion Control Table: CCT[CCTI] is the
+	// inter-packet delay in units of the departing packet's own
+	// serialization time (the paper notes the IRD computation is
+	// relative to the packet length). Index 0 must be 0.
+	CCT []uint16
+}
+
+// PaperParams returns Table I of the paper: the single parameter set the
+// whole study runs with, with a linear CCT of 128 entries.
+func PaperParams() Params {
+	return Params{
+		CCTIIncrease:         1,
+		CCTILimit:            127,
+		CCTIMin:              0,
+		CCTITimer:            150,
+		Threshold:            15,
+		MarkingRate:          0,
+		PacketSize:           0,
+		VictimMaskHostPorts:  true,
+		RootMinCreditBytes:   2048 + 46,
+		ThresholdRefMultiple: 4,
+		CCT:                  LinearCCT(128),
+	}
+}
+
+// LinearCCT builds a CCT where entry i delays i packet-times, giving a
+// throttle factor of 1/(1+i) of line rate at index i. With 128 entries
+// it spans fair shares down to 1/128 of the link — covering the ~64
+// contributors per hotspot of the 648-node scenarios, which is why the
+// paper enlarged its CCT relative to the earlier hardware study.
+func LinearCCT(n int) []uint16 {
+	t := make([]uint16, n)
+	for i := range t {
+		t[i] = uint16(i)
+	}
+	return t
+}
+
+// Validate reports parameter errors.
+func (p *Params) Validate() error {
+	switch {
+	case len(p.CCT) == 0:
+		return fmt.Errorf("cc: empty CCT")
+	case p.CCT[0] != 0:
+		return fmt.Errorf("cc: CCT[0] must be 0")
+	case int(p.CCTILimit) >= len(p.CCT):
+		return fmt.Errorf("cc: CCTI limit %d outside CCT of %d entries", p.CCTILimit, len(p.CCT))
+	case p.CCTIMin > p.CCTILimit:
+		return fmt.Errorf("cc: CCTI min %d above limit %d", p.CCTIMin, p.CCTILimit)
+	case p.Threshold > 15:
+		return fmt.Errorf("cc: threshold weight %d out of range", p.Threshold)
+	case p.RootMinCreditBytes < 0:
+		return fmt.Errorf("cc: negative root credit floor")
+	case p.PacketSize < 0:
+		return fmt.Errorf("cc: negative packet size")
+	case p.ThresholdRefMultiple < 1:
+		return fmt.Errorf("cc: threshold reference multiple must be >= 1")
+	}
+	return nil
+}
+
+// ThresholdBytes translates the threshold weight into an occupancy level
+// against the reference capacity (one input buffer's VL space times
+// ThresholdRefMultiple): weight 1 → 15/16 of the reference (high
+// threshold, marks late), weight 15 → 1/16 (low threshold, marks
+// early), uniformly spaced. Weight 0 returns -1 (never marks).
+func (p *Params) ThresholdBytes(capacity int) int {
+	if p.Threshold == 0 {
+		return -1
+	}
+	m := p.ThresholdRefMultiple
+	if m < 1 {
+		m = 1
+	}
+	return capacity * m * (16 - int(p.Threshold)) / 16
+}

@@ -1,0 +1,118 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperParamsMatchTableI(t *testing.T) {
+	p := PaperParams()
+	if p.CCTIIncrease != 1 || p.CCTILimit != 127 || p.CCTIMin != 0 ||
+		p.CCTITimer != 150 || p.Threshold != 15 || p.MarkingRate != 0 ||
+		p.PacketSize != 0 {
+		t.Fatalf("PaperParams = %+v does not match Table I", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.VictimMaskHostPorts {
+		t.Fatal("victim mask must default on for HCA-facing ports")
+	}
+}
+
+func TestLinearCCT(t *testing.T) {
+	cct := LinearCCT(128)
+	if len(cct) != 128 {
+		t.Fatalf("len = %d", len(cct))
+	}
+	for i, v := range cct {
+		if int(v) != i {
+			t.Fatalf("CCT[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.CCT = nil },
+		func(p *Params) { p.CCT = []uint16{5} },
+		func(p *Params) { p.CCTILimit = uint16(len(p.CCT)) },
+		func(p *Params) { p.CCTIMin = p.CCTILimit + 1 },
+		func(p *Params) { p.Threshold = 16 },
+		func(p *Params) { p.RootMinCreditBytes = -1 },
+		func(p *Params) { p.PacketSize = -1 },
+	}
+	for i, mut := range bad {
+		p := PaperParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestThresholdBytesMapping(t *testing.T) {
+	const capacity = 16000
+	p := PaperParams()
+	p.ThresholdRefMultiple = 1
+	p.Threshold = 0
+	if got := p.ThresholdBytes(capacity); got != -1 {
+		t.Fatalf("weight 0: %d", got)
+	}
+	p.Threshold = 1
+	if got := p.ThresholdBytes(capacity); got != 15000 {
+		t.Fatalf("weight 1 (highest threshold): %d", got)
+	}
+	p.Threshold = 15
+	if got := p.ThresholdBytes(capacity); got != 1000 {
+		t.Fatalf("weight 15 (lowest threshold): %d", got)
+	}
+	// Uniformly decreasing in the weight, per the spec.
+	prev := capacity + 1
+	for w := uint8(1); w <= 15; w++ {
+		p.Threshold = w
+		got := p.ThresholdBytes(capacity)
+		if got >= prev {
+			t.Fatalf("threshold not decreasing at weight %d", w)
+		}
+		prev = got
+	}
+	// The reference multiple scales the whole mapping.
+	p.Threshold = 15
+	p.ThresholdRefMultiple = 4
+	if got := p.ThresholdBytes(capacity); got != 4000 {
+		t.Fatalf("weight 15, multiple 4: %d", got)
+	}
+	// A zero multiple (unset) behaves as 1.
+	p.ThresholdRefMultiple = 0
+	if got := p.ThresholdBytes(capacity); got != 1000 {
+		t.Fatalf("unset multiple: %d", got)
+	}
+}
+
+func TestThresholdBytesProperty(t *testing.T) {
+	f := func(w uint8, capRaw uint16, multRaw uint8) bool {
+		p := PaperParams()
+		p.Threshold = w % 16
+		p.ThresholdRefMultiple = int(multRaw%8) + 1
+		capacity := int(capRaw) + 16
+		got := p.ThresholdBytes(capacity)
+		if p.Threshold == 0 {
+			return got == -1
+		}
+		return got >= 0 && got <= capacity*p.ThresholdRefMultiple
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := PaperParams().String()
+	for _, want := range []string{"thr=15", "lim=127", "timer=150"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

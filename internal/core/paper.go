@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TableII holds the five row groups of the paper's Table II (silent
+// congestion trees on the full population): rates in Gbit/s.
+type TableII struct {
+	// NoHotspotsNoCC / NoHotspotsCC: only the V nodes send, uniformly.
+	NoHotspotsNoCC float64
+	NoHotspotsCC   float64
+	// HotspotsNoCC / HotspotsCC: the C nodes flood the 8 hotspots.
+	HotspotsNoCC struct{ Hot, NonHot float64 }
+	HotspotsCC   struct{ Hot, NonHot float64 }
+	// Totals are the total network throughput with hotspots active.
+	TotalNoCC float64
+	TotalCC   float64
+}
+
+// RunTableII reproduces Table II: four configurations of the silent
+// forest scenario plus total-throughput rows, from one base scenario
+// (use Default(radix) and adjust Warmup/Measure/Seed).
+func RunTableII(base Scenario) (*TableII, error) {
+	t := &TableII{}
+	run := func(ccOn, cActive bool) (*Result, error) {
+		s := base
+		s.FracBPct = 0
+		s.CCOn = ccOn
+		s.CNodesActive = cActive
+		s.Name = fmt.Sprintf("tableII cc=%v hotspots=%v", ccOn, cActive)
+		return Run(s)
+	}
+	r, err := run(false, false)
+	if err != nil {
+		return nil, err
+	}
+	t.NoHotspotsNoCC = r.Summary.AllAvgGbps
+	if r, err = run(true, false); err != nil {
+		return nil, err
+	}
+	t.NoHotspotsCC = r.Summary.AllAvgGbps
+	if r, err = run(false, true); err != nil {
+		return nil, err
+	}
+	t.HotspotsNoCC.Hot = r.Summary.HotspotAvgGbps
+	t.HotspotsNoCC.NonHot = r.Summary.NonHotspotAvgGbps
+	t.TotalNoCC = r.Summary.TotalGbps
+	if r, err = run(true, true); err != nil {
+		return nil, err
+	}
+	t.HotspotsCC.Hot = r.Summary.HotspotAvgGbps
+	t.HotspotsCC.NonHot = r.Summary.NonHotspotAvgGbps
+	t.TotalCC = r.Summary.TotalGbps
+	return t, nil
+}
+
+// Print writes the table in the paper's row order.
+func (t *TableII) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table II: performance numbers (Gbps), silent congestion trees\n")
+	fmt.Fprintf(w, "  No hotspots, no CC : avg receive rate        %7.3f\n", t.NoHotspotsNoCC)
+	fmt.Fprintf(w, "  No hotspots, CC on : avg receive rate        %7.3f\n", t.NoHotspotsCC)
+	fmt.Fprintf(w, "  Hotspots, no CC    : hotspots avg rcv        %7.3f\n", t.HotspotsNoCC.Hot)
+	fmt.Fprintf(w, "                       non-hotspots avg rcv    %7.3f\n", t.HotspotsNoCC.NonHot)
+	fmt.Fprintf(w, "  Hotspots, CC on    : hotspots avg rcv        %7.3f\n", t.HotspotsCC.Hot)
+	fmt.Fprintf(w, "                       non-hotspots avg rcv    %7.3f\n", t.HotspotsCC.NonHot)
+	fmt.Fprintf(w, "  Total throughput   : without CC              %7.1f\n", t.TotalNoCC)
+	fmt.Fprintf(w, "                       with CC                 %7.1f\n", t.TotalCC)
+	if t.TotalNoCC > 0 {
+		fmt.Fprintf(w, "  Improvement by enabling CC: %.2fx\n", t.TotalCC/t.TotalNoCC)
+	}
+}
+
+// WindyPoint is one p-value of a windy-forest sweep (figures 5–8): all
+// rates in Gbit/s, Improvement is the total-throughput factor plotted in
+// sub-figure (c).
+type WindyPoint struct {
+	P           int
+	NonHotOff   float64
+	NonHotOn    float64
+	HotOff      float64
+	HotOn       float64
+	TotalOff    float64
+	TotalOn     float64
+	TMax        float64
+	Improvement float64
+}
+
+// RunWindySweep reproduces one of figures 5–8: the base scenario with
+// fracB percent B nodes, swept over the given p values, with CC off and
+// on at each point.
+func RunWindySweep(base Scenario, fracB int, ps []int) ([]WindyPoint, error) {
+	out := make([]WindyPoint, 0, len(ps))
+	for _, p := range ps {
+		s := base
+		s.FracBPct = fracB
+		s.PPercent = p
+		s.CNodesActive = true
+		var pt WindyPoint
+		pt.P = p
+		pt.TMax = s.TMaxNonHotspotGbps()
+
+		s.CCOn = false
+		s.Name = fmt.Sprintf("windy B=%d%% p=%d ccOff", fracB, p)
+		r, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		pt.NonHotOff = r.Summary.NonHotspotAvgGbps
+		pt.HotOff = r.Summary.HotspotAvgGbps
+		pt.TotalOff = r.Summary.TotalGbps
+
+		s.CCOn = true
+		s.Name = fmt.Sprintf("windy B=%d%% p=%d ccOn", fracB, p)
+		if r, err = Run(s); err != nil {
+			return nil, err
+		}
+		pt.NonHotOn = r.Summary.NonHotspotAvgGbps
+		pt.HotOn = r.Summary.HotspotAvgGbps
+		pt.TotalOn = r.Summary.TotalGbps
+		if pt.TotalOff > 0 {
+			pt.Improvement = pt.TotalOn / pt.TotalOff
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintWindy writes a windy sweep as the three series of one paper
+// figure: (a) non-hotspot receive rates with tmax, (b) hotspot receive
+// rates, (c) total throughput improvement.
+func PrintWindy(w io.Writer, fig string, fracB int, pts []WindyPoint) {
+	fmt.Fprintf(w, "Figure %s: windy forest, %d%% B nodes\n", fig, fracB)
+	fmt.Fprintf(w, "  %4s  %9s %9s %9s  %9s %9s  %12s\n",
+		"p", "nonhotOff", "nonhotOn", "tmax", "hotOff", "hotOn", "improvement")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "  %4d  %9.3f %9.3f %9.3f  %9.3f %9.3f  %11.2fx\n",
+			pt.P, pt.NonHotOff, pt.NonHotOn, pt.TMax, pt.HotOff, pt.HotOn, pt.Improvement)
+	}
+}
+
+// MovingPoint is one hotspot lifetime of a moving-forest sweep
+// (figures 9–10): the average receive rate over all nodes, CC off/on.
+type MovingPoint struct {
+	Lifetime sim.Duration
+	AllOff   float64
+	AllOn    float64
+}
+
+// RunMovingSweep reproduces one series of figures 9 or 10: the base
+// scenario (node mix and p already set) swept over hotspot lifetimes.
+func RunMovingSweep(base Scenario, lifetimes []sim.Duration) ([]MovingPoint, error) {
+	out := make([]MovingPoint, 0, len(lifetimes))
+	for _, lt := range lifetimes {
+		s := base
+		s.HotspotLifetime = lt
+		s.CNodesActive = true
+		// The window must span several hotspot lifetimes for the
+		// average to be meaningful.
+		if min := 6 * lt; s.Measure < min {
+			s.Measure = min
+		}
+		var pt MovingPoint
+		pt.Lifetime = lt
+
+		s.CCOn = false
+		s.Name = fmt.Sprintf("moving lt=%v ccOff", lt)
+		r, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		pt.AllOff = r.Summary.AllAvgGbps
+
+		s.CCOn = true
+		s.Name = fmt.Sprintf("moving lt=%v ccOn", lt)
+		if r, err = Run(s); err != nil {
+			return nil, err
+		}
+		pt.AllOn = r.Summary.AllAvgGbps
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintMoving writes a moving sweep as one series of figures 9–10.
+func PrintMoving(w io.Writer, fig, label string, pts []MovingPoint) {
+	fmt.Fprintf(w, "Figure %s: moving congestion trees, %s\n", fig, label)
+	fmt.Fprintf(w, "  %12s  %10s %10s  %8s\n", "lifetime", "allOff", "allOn", "gain")
+	for _, pt := range pts {
+		gain := 0.0
+		if pt.AllOff > 0 {
+			gain = pt.AllOn / pt.AllOff
+		}
+		fmt.Fprintf(w, "  %12v  %10.3f %10.3f  %7.2fx\n", pt.Lifetime, pt.AllOff, pt.AllOn, gain)
+	}
+}
+
+// PaperPValues are the p values the paper sweeps in figures 5–8.
+func PaperPValues() []int {
+	return []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+}
+
+// PaperLifetimes returns the paper's hotspot lifetimes (10 ms down to
+// 1 ms), optionally scaled by a factor for reduced-scale runs.
+func PaperLifetimes(scale float64) []sim.Duration {
+	base := []float64{10, 8, 6, 5, 4, 3, 2, 1}
+	out := make([]sim.Duration, len(base))
+	for i, ms := range base {
+		out[i] = sim.Duration(ms * scale * float64(sim.Millisecond))
+	}
+	return out
+}

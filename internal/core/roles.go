@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Role classifies a node per section III of the paper.
+type Role uint8
+
+const (
+	// RoleV nodes send purely uniform traffic (potential victims).
+	RoleV Role = iota
+	// RoleC nodes send all their traffic to their subset's hotspot.
+	RoleC
+	// RoleB nodes send p% to their subset's hotspot, the rest uniform.
+	RoleB
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleV:
+		return "V"
+	case RoleC:
+		return "C"
+	default:
+		return "B"
+	}
+}
+
+// Population is the node-role assignment of one run.
+type Population struct {
+	// Roles holds each node's role, indexed by LID.
+	Roles []Role
+	// Subset holds the hotspot-subset index of each C or B node
+	// (-1 for V nodes).
+	Subset []int
+	// Hotspots are the static hotspot nodes, one per subset.
+	Hotspots []ib.LID
+	// HotspotSet is the membership map of Hotspots.
+	HotspotSet map[ib.LID]bool
+}
+
+// assignRoles draws the population: NumHotspots distinct hotspot nodes,
+// FracBPct B nodes, and the remainder split FracCOfRestPct C /
+// (100-FracCOfRestPct) V — all uniformly at random, matching the paper's
+// "randomly distributed in the topology". Contributors are divided
+// evenly into one subset per hotspot; a contributor never targets
+// itself.
+func assignRoles(s *Scenario, rng *sim.RNG) Population {
+	n := s.NumNodes()
+	p := Population{
+		Roles:      make([]Role, n),
+		Subset:     make([]int, n),
+		HotspotSet: make(map[ib.LID]bool, s.NumHotspots),
+	}
+	perm := rng.Perm(n)
+
+	// Hotspots first: distinct random nodes.
+	p.Hotspots = make([]ib.LID, s.NumHotspots)
+	for i := 0; i < s.NumHotspots; i++ {
+		p.Hotspots[i] = ib.LID(perm[i])
+		p.HotspotSet[p.Hotspots[i]] = true
+	}
+
+	// Roles over a fresh shuffle so hotspot nodes also get roles.
+	perm = rng.Perm(n)
+	numB := n * s.FracBPct / 100
+	numC := (n - numB) * s.FracCOfRestPct / 100
+	for i, node := range perm {
+		switch {
+		case i < numB:
+			p.Roles[node] = RoleB
+		case i < numB+numC:
+			p.Roles[node] = RoleC
+		default:
+			p.Roles[node] = RoleV
+		}
+	}
+
+	// Deal contributors round-robin into subsets, skipping a subset
+	// whose hotspot is the node itself.
+	next := 0
+	for node := 0; node < n; node++ {
+		if p.Roles[node] == RoleV {
+			p.Subset[node] = -1
+			continue
+		}
+		sub := next % s.NumHotspots
+		if p.Hotspots[sub] == ib.LID(node) {
+			next++
+			sub = next % s.NumHotspots
+		}
+		p.Subset[node] = sub
+		next++
+	}
+	return p
+}
+
+// Counts returns how many nodes hold each role.
+func (p *Population) Counts() (b, c, v int) {
+	for _, r := range p.Roles {
+		switch r {
+		case RoleB:
+			b++
+		case RoleC:
+			c++
+		default:
+			v++
+		}
+	}
+	return
+}
+
+func (p *Population) String() string {
+	b, c, v := p.Counts()
+	return fmt.Sprintf("pop{B=%d C=%d V=%d hotspots=%d}", b, c, v, len(p.Hotspots))
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Result collects everything a single run produced.
+type Result struct {
+	// Name echoes the scenario label.
+	Name string
+	// CCOn echoes whether congestion control ran.
+	CCOn bool
+	// Summary holds the class-aggregated receive rates.
+	Summary metrics.Summary
+	// Rates holds the per-node rates behind the summary.
+	Rates metrics.NodeRates
+	// TMaxGbps is the theoretical non-hotspot maximum for the
+	// scenario (figures 5–8 plot it alongside the measurements).
+	TMaxGbps float64
+	// CCStats reports congestion-control activity (zero when off).
+	CCStats cc.Stats
+	// Latency is the network-wide packet latency distribution over the
+	// measurement window.
+	Latency metrics.LatencySummary
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Hotspots is the static hotspot set of the run.
+	Hotspots []ib.LID
+	// PopB/PopC/PopV count the node roles.
+	PopB, PopC, PopV int
+	// RoleRxGbps is the average receive-payload rate per role
+	// (indexed by Role), for fairness inspection across classes.
+	RoleRxGbps [3]float64
+	// RoleTxGbps is the average injected-payload rate per role.
+	RoleTxGbps [3]float64
+}
+
+// Instance is a fully assembled but not yet executed scenario. Build
+// creates it; callers may attach instrumentation (hooks are already
+// installed, so use the network's and manager's accessors) before
+// calling Execute. Run covers the common build-and-execute path.
+type Instance struct {
+	Scenario Scenario
+	// Net is the assembled fabric.
+	Net *fabric.Network
+	// CC is the congestion control manager, nil when CC is off.
+	CC *cc.Manager
+	// Pop is the node-role assignment.
+	Pop Population
+
+	collector *metrics.Collector
+	executed  bool
+}
+
+// Run executes one scenario end to end.
+func Run(s Scenario) (*Result, error) {
+	in, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return in.Execute(), nil
+}
+
+// Build assembles the topology, fabric, congestion control, population
+// and generators for a scenario without running it.
+func Build(s Scenario) (*Instance, error) {
+	if s.SeparateHotspotVL && s.Fabric.NumVLs < 2 {
+		s.Fabric.NumVLs = 2
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tp, err := topo.FatTree(s.Radix)
+	if err != nil {
+		return nil, err
+	}
+	lft, err := topo.ComputeLFT(tp)
+	if err != nil {
+		return nil, err
+	}
+	simr := sim.New()
+	net, err := fabric.New(simr, tp, lft, s.Fabric, fabric.Hooks{})
+	if err != nil {
+		return nil, err
+	}
+
+	var throttle traffic.Throttle
+	var mgr *cc.Manager
+	if s.CCOn {
+		mgr, err = cc.New(net, s.CC)
+		if err != nil {
+			return nil, err
+		}
+		net.SetHooks(mgr.Hooks())
+		throttle = mgr
+	}
+
+	root := sim.NewRNG(s.Seed)
+	pop := assignRoles(&s, root.Derive(1))
+	targeters := buildTargeters(&s, &pop, root.Derive(2))
+
+	for node := 0; node < s.NumNodes(); node++ {
+		role := pop.Roles[node]
+		if role == RoleC && !s.CNodesActive {
+			continue
+		}
+		p := 0
+		var hs traffic.Targeter
+		switch role {
+		case RoleC:
+			p = 100
+			hs = targeters[pop.Subset[node]]
+		case RoleB:
+			p = s.PPercent
+			hs = targeters[pop.Subset[node]]
+		}
+		gen, err := traffic.NewGenerator(traffic.NodeConfig{
+			LID:           ib.LID(node),
+			NumNodes:      s.NumNodes(),
+			PPercent:      p,
+			Hotspot:       hs,
+			InjectionRate: s.Fabric.InjectionRate,
+			BacklogCap:    s.BacklogCap,
+			Throttle:      throttle,
+			SLThrottle:    s.CCOn && s.CC.SLLevel,
+			HotspotVL:     hotspotVL(&s),
+			RNG:           root.Derive(1000 + uint64(node)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", node, err)
+		}
+		net.HCA(ib.LID(node)).SetSource(gen)
+	}
+
+	collector := metrics.NewCollector(net, sim.Time(0).Add(s.Warmup))
+	return &Instance{
+		Scenario:  s,
+		Net:       net,
+		CC:        mgr,
+		Pop:       pop,
+		collector: collector,
+	}, nil
+}
+
+// Execute runs the assembled scenario to the end of its measurement
+// window and reduces the counters. It may be called once.
+func (in *Instance) Execute() *Result {
+	if in.executed {
+		panic("core: instance executed twice")
+	}
+	in.executed = true
+	s := &in.Scenario
+	simr := in.Net.Sim()
+	in.Net.Start()
+	simr.RunUntil(sim.Time(0).Add(s.Warmup + s.Measure))
+
+	rates := in.collector.Rates()
+	res := &Result{
+		Name:     s.Name,
+		CCOn:     s.CCOn,
+		Summary:  metrics.Summarize(rates, in.Pop.HotspotSet),
+		Rates:    rates,
+		TMaxGbps: s.TMaxNonHotspotGbps(),
+		Latency:  in.collector.Latency(),
+		Events:   simr.Processed(),
+		Hotspots: in.Pop.Hotspots,
+	}
+	res.PopB, res.PopC, res.PopV = in.Pop.Counts()
+	var counts [3]int
+	for node, role := range in.Pop.Roles {
+		counts[role]++
+		res.RoleRxGbps[role] += rates.RxPayload[node] / 1e9
+		res.RoleTxGbps[role] += rates.TxPayload[node] / 1e9
+	}
+	for r := range counts {
+		if counts[r] > 0 {
+			res.RoleRxGbps[r] /= float64(counts[r])
+			res.RoleTxGbps[r] /= float64(counts[r])
+		}
+	}
+	if in.CC != nil {
+		res.CCStats = in.CC.Stats()
+	}
+	return res
+}
+
+// hotspotVL returns the VL carrying hotspot traffic: 1 under
+// SeparateHotspotVL, otherwise the shared lane 0.
+func hotspotVL(s *Scenario) ib.VL {
+	if s.SeparateHotspotVL {
+		return 1
+	}
+	return 0
+}
+
+// buildTargeters creates one hotspot targeter per subset: static targets
+// for the silent/windy forests, shared moving sequences for the moving
+// forests.
+func buildTargeters(s *Scenario, pop *Population, rng *sim.RNG) []traffic.Targeter {
+	out := make([]traffic.Targeter, s.NumHotspots)
+	if s.HotspotLifetime <= 0 {
+		for i, h := range pop.Hotspots {
+			out[i] = traffic.StaticTarget(h)
+		}
+		return out
+	}
+	slots := int((s.Warmup+s.Measure)/s.HotspotLifetime) + 2
+	for i := range out {
+		mt := traffic.NewMovingTarget(s.HotspotLifetime, slots, s.NumNodes(), rng.Derive(uint64(i)))
+		// Slot 0 starts at the subset's drawn hotspot, so a moving run
+		// degenerates to the static one as the lifetime grows.
+		mt.Seq[0] = pop.Hotspots[i]
+		out[i] = mt
+	}
+	return out
+}

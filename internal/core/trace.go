@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AttachStandardTrace registers the study's standard telemetry on a
+// built instance and starts it for the whole run: per-class receive
+// rates, total throughput, congestion-control activity and throttle
+// depth, sampled every interval. Call between Build and Execute; the
+// returned recorder's series are complete after Execute.
+func (in *Instance) AttachStandardTrace(interval sim.Duration) *trace.Recorder {
+	rec := trace.NewRecorder(in.Net.Sim(), interval)
+	hot, non := splitByHotspot(in)
+
+	rec.Probe("hotspot_rx_gbps_avg", perNodeRxRate(in, hot, interval))
+	rec.Probe("nonhotspot_rx_gbps_avg", perNodeRxRate(in, non, interval))
+	rec.Probe("total_rx_gbps", perNodeRxRate(in, all(in), interval, scaleTotal))
+	rec.Probe("max_switch_queue_bytes", func() float64 {
+		return float64(maxSwitchQueue(in))
+	})
+
+	if in.CC != nil {
+		mgr := in.CC
+		var prevMarks, prevBECN uint64
+		secs := interval.Seconds()
+		rec.Probe("fecn_marks_per_s", func() float64 {
+			cur := mgr.Stats().FECNMarked
+			v := float64(cur-prevMarks) / secs
+			prevMarks = cur
+			return v
+		})
+		rec.Probe("becn_per_s", func() float64 {
+			cur := mgr.Stats().BECNReceived
+			v := float64(cur-prevBECN) / secs
+			prevBECN = cur
+			return v
+		})
+		rec.Probe("throttled_flows", func() float64 {
+			flows, _ := mgr.ThrottleSummary()
+			return float64(flows)
+		})
+		rec.Probe("mean_ccti", func() float64 {
+			_, mean := mgr.ThrottleSummary()
+			return mean
+		})
+	}
+	rec.Start(sim.Time(0).Add(in.Scenario.Warmup + in.Scenario.Measure))
+	return rec
+}
+
+// maxSwitchQueue returns the deepest per-output-port VL-0 queue in the
+// fabric — the height of the tallest congestion tree root at this
+// instant.
+func maxSwitchQueue(in *Instance) int {
+	max := 0
+	tp := in.Net.Topology()
+	for _, sw := range in.Net.Switches() {
+		for port := range tp.Nodes[sw.NodeID()].Ports {
+			if q := sw.QueuedBytes(port, 0); q > max {
+				max = q
+			}
+		}
+	}
+	return max
+}
+
+func splitByHotspot(in *Instance) (hot, non []ib.LID) {
+	for i := 0; i < in.Net.NumHosts(); i++ {
+		if in.Pop.HotspotSet[ib.LID(i)] {
+			hot = append(hot, ib.LID(i))
+		} else {
+			non = append(non, ib.LID(i))
+		}
+	}
+	return
+}
+
+func all(in *Instance) []ib.LID {
+	out := make([]ib.LID, in.Net.NumHosts())
+	for i := range out {
+		out[i] = ib.LID(i)
+	}
+	return out
+}
+
+const scaleTotal = true
+
+// perNodeRxRate builds a gauge returning the receive-payload rate of
+// the node set over the last interval, in Gbit/s — per-node average by
+// default, or the set total when total is given.
+func perNodeRxRate(in *Instance, lids []ib.LID, interval sim.Duration, total ...bool) func() float64 {
+	var prev uint64
+	for _, l := range lids {
+		prev += in.Net.HCA(l).Counters().RxDataPayload
+	}
+	div := float64(len(lids))
+	if len(total) > 0 && total[0] {
+		div = 1
+	}
+	secs := interval.Seconds()
+	return func() float64 {
+		var cur uint64
+		for _, l := range lids {
+			cur += in.Net.HCA(l).Counters().RxDataPayload
+		}
+		v := float64(cur-prev) * 8 / secs / div / 1e9
+		prev = cur
+		return v
+	}
+}

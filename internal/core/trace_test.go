@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAttachStandardTrace(t *testing.T) {
+	s := quick(8)
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := in.AttachStandardTrace(100 * sim.Microsecond)
+	res := in.Execute()
+	if res == nil {
+		t.Fatal("no result")
+	}
+	series := rec.Series()
+	names := map[string]bool{}
+	for _, sr := range series {
+		names[sr.Name] = true
+		want := int((s.Warmup + s.Measure) / (100 * sim.Microsecond))
+		if len(sr.Values) != want {
+			t.Fatalf("series %s has %d samples, want %d", sr.Name, len(sr.Values), want)
+		}
+	}
+	for _, want := range []string{
+		"hotspot_rx_gbps_avg", "nonhotspot_rx_gbps_avg", "total_rx_gbps",
+		"max_switch_queue_bytes", "fecn_marks_per_s", "becn_per_s",
+		"throttled_flows", "mean_ccti",
+	} {
+		if !names[want] {
+			t.Fatalf("series %q missing (have %v)", want, names)
+		}
+	}
+	// The hotspot rate series must be in the right ballpark once
+	// saturated.
+	for _, sr := range series {
+		switch sr.Name {
+		case "hotspot_rx_gbps_avg":
+			if sr.Max() < 5 || sr.Max() > 14 {
+				t.Fatalf("hotspot series max = %v", sr.Max())
+			}
+		case "max_switch_queue_bytes":
+			if sr.Max() <= 0 {
+				t.Fatal("no queue growth observed under congestion")
+			}
+		case "mean_ccti":
+			if sr.Max() <= 0 {
+				t.Fatal("no throttling observed")
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mean_ccti") {
+		t.Fatal("CSV missing series")
+	}
+}
+
+func TestTraceWithoutCC(t *testing.T) {
+	s := quick(8)
+	s.CCOn = false
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := in.AttachStandardTrace(200 * sim.Microsecond)
+	in.Execute()
+	for _, sr := range rec.Series() {
+		if strings.Contains(sr.Name, "ccti") || strings.Contains(sr.Name, "becn") {
+			t.Fatalf("CC series %q present with CC off", sr.Name)
+		}
+	}
+}
+
+func TestRoleBreakdown(t *testing.T) {
+	s := quick(12)
+	s.FracBPct = 50
+	s.PPercent = 60
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three roles are present and active.
+	if res.PopB == 0 || res.PopC == 0 || res.PopV == 0 {
+		t.Fatalf("population = %d/%d/%d", res.PopB, res.PopC, res.PopV)
+	}
+	for _, role := range []Role{RoleB, RoleC, RoleV} {
+		if res.RoleTxGbps[role] <= 0 {
+			t.Fatalf("role %v injected nothing", role)
+		}
+	}
+	// V nodes send only uniform traffic; C nodes only hotspot traffic.
+	// Every class must achieve a sane rate below the injection cap.
+	for r, v := range res.RoleTxGbps {
+		if v > 13.6 {
+			t.Fatalf("role %d tx = %.3f above injection cap", r, v)
+		}
+	}
+}

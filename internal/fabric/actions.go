@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// The fabric schedules a handful of events per packet per hop; this file
+// keeps those events allocation-free. Repeating per-port callbacks
+// (serializer done, DMA done, sink done) are pre-bound Actions stored on
+// their owners; per-packet arrivals and credit updates use small pooled
+// action structs recycled through the Network.
+
+// arrivalAct delivers a packet to a link's receiving endpoint.
+type arrivalAct struct {
+	net *Network
+	dst packetTaker
+	p   *ib.Packet
+}
+
+// Act implements sim.Action.
+func (a *arrivalAct) Act() {
+	net, dst, p := a.net, a.dst, a.p
+	a.dst, a.p = nil, nil
+	net.arrPool = append(net.arrPool, a)
+	dst.arrive(p)
+}
+
+// scheduleArrival enqueues a packet arrival after d.
+func (n *Network) scheduleArrival(d sim.Duration, dst packetTaker, p *ib.Packet) {
+	var a *arrivalAct
+	if k := len(n.arrPool); k > 0 {
+		a = n.arrPool[k-1]
+		n.arrPool[k-1] = nil
+		n.arrPool = n.arrPool[:k-1]
+	} else {
+		a = &arrivalAct{net: n}
+	}
+	a.dst, a.p = dst, p
+	n.simr.ScheduleAction(d, a)
+}
+
+// creditAct returns flow-control credits to a link's transmitting
+// endpoint.
+type creditAct struct {
+	net   *Network
+	taker creditTaker
+	vl    ib.VL
+	bytes int
+}
+
+// Act implements sim.Action.
+func (c *creditAct) Act() {
+	net, taker, vl, bytes := c.net, c.taker, c.vl, c.bytes
+	c.taker = nil
+	net.crdPool = append(net.crdPool, c)
+	taker.addCredit(vl, bytes)
+}
+
+// sendCredit schedules a credit update to arrive at taker after the link
+// propagation delay, modeling the flow-control packet carrying it.
+func (n *Network) sendCredit(taker creditTaker, vl ib.VL, bytes int) {
+	var c *creditAct
+	if k := len(n.crdPool); k > 0 {
+		c = n.crdPool[k-1]
+		n.crdPool[k-1] = nil
+		n.crdPool = n.crdPool[:k-1]
+	} else {
+		c = &creditAct{net: n}
+	}
+	c.taker, c.vl, c.bytes = taker, vl, bytes
+	n.simr.ScheduleAction(n.cfg.PropDelay, c)
+}
+
+// swTxAct fires a switch output port's serializer-done callback.
+type swTxAct struct{ op *swOutPort }
+
+// Act implements sim.Action.
+func (a swTxAct) Act() { a.op.txDone() }
+
+// hcaTxAct fires an HCA's serializer-done callback.
+type hcaTxAct struct{ h *HCA }
+
+// Act implements sim.Action.
+func (a hcaTxAct) Act() { a.h.txDone() }
+
+// hcaDmaAct fires an HCA's injection-DMA completion for h.dmaPkt.
+type hcaDmaAct struct{ h *HCA }
+
+// Act implements sim.Action.
+func (a hcaDmaAct) Act() {
+	p := a.h.dmaPkt
+	a.h.dmaPkt = nil
+	a.h.dmaDone(p)
+}
+
+// hcaSinkAct fires an HCA's sink-service completion for h.sinkPkt.
+type hcaSinkAct struct{ h *HCA }
+
+// Act implements sim.Action.
+func (a hcaSinkAct) Act() {
+	p := a.h.sinkPkt
+	a.h.sinkPkt = nil
+	a.h.delivered(p)
+}

@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// HCACounters accumulate per-host traffic totals. The experiment harness
+// snapshots them at the warmup boundary and at the end of the
+// measurement window to compute rates.
+type HCACounters struct {
+	// TxPackets/TxBytes count everything injected (wire bytes).
+	TxPackets, TxBytes uint64
+	// TxDataPayload counts application payload bytes injected.
+	TxDataPayload uint64
+	// TxHotspotPayload counts the subset of TxDataPayload whose
+	// destination was the generator's hotspot target.
+	TxHotspotPayload uint64
+	// TxCNP counts congestion notification packets injected.
+	TxCNP uint64
+	// TxAck counts acknowledgement packets injected.
+	TxAck uint64
+	// RxPackets/RxBytes count everything the sink consumed.
+	RxPackets, RxBytes uint64
+	// RxDataPayload counts application payload bytes delivered.
+	RxDataPayload uint64
+	// RxCNP counts congestion notification packets delivered.
+	RxCNP uint64
+	// RxAck counts acknowledgement packets delivered.
+	RxAck uint64
+	// RxFECN counts delivered data packets carrying a FECN mark.
+	RxFECN uint64
+	// Latency histograms data-packet network latency (injection-DMA
+	// completion to sink delivery) at this receiver.
+	Latency LatencyHist
+}
+
+// HCA models one end node: the send side (generator pull, injection DMA
+// at the host rate, small staging buffer, link serializer under credit
+// flow control) and the receive side (credit-granting input buffer and a
+// rate-limited sink). It corresponds to the gen/sink/obuf/ibuf composition
+// of the paper's HCA module.
+type HCA struct {
+	net  *Network
+	node topo.NodeID
+	lid  ib.LID
+
+	// Send side.
+	out       linkOut
+	obuf      pktQueue
+	obufBytes int
+	dmaBusy   bool
+	ctrl      pktQueue
+	source    Source
+	wake      *sim.Event
+	wakeSeq   uint64
+
+	// Receive side.
+	rxFree   []int
+	rxQ      pktQueue
+	sinkBusy bool
+	up       creditTaker
+
+	// Pre-bound actions and their in-flight packets (one DMA and one
+	// sink service at a time).
+	txAct, dmaAct, sinkAct sim.Action
+	dmaPkt, sinkPkt        *ib.Packet
+
+	ctr HCACounters
+}
+
+func newHCA(n *Network, node *topo.Node) *HCA {
+	h := &HCA{net: n, node: node.ID, lid: node.LID}
+	h.out.net = n
+	h.rxFree = make([]int, n.cfg.NumVLs)
+	for v := range h.rxFree {
+		h.rxFree[v] = n.cfg.HostIbufBytes
+	}
+	h.txAct = hcaTxAct{h}
+	h.dmaAct = hcaDmaAct{h}
+	h.sinkAct = hcaSinkAct{h}
+	return h
+}
+
+// LID returns the host's local identifier.
+func (h *HCA) LID() ib.LID { return h.lid }
+
+// Counters returns a snapshot of the host's traffic counters.
+func (h *HCA) Counters() HCACounters { return h.ctr }
+
+// SetSource attaches the traffic generator. It may be nil for pure
+// receivers.
+func (h *HCA) SetSource(s Source) { h.source = s }
+
+// SendControl enqueues a control packet (CNP) ahead of all data traffic.
+// The congestion-control manager calls it when a FECN-marked packet is
+// delivered.
+func (h *HCA) SendControl(p *ib.Packet) {
+	p.Src = h.lid
+	h.ctrl.Push(p)
+	h.kickSend()
+}
+
+// Kick re-evaluates the send path; the network start-up and sources with
+// external state changes use it.
+func (h *HCA) Kick() { h.kickSend() }
+
+// kickSend starts the injection DMA when it is idle, the staging buffer
+// has room, and either a control packet or an eligible data packet is
+// available. When the source has nothing eligible, a wake-up is armed at
+// the earliest time it reported something could change.
+func (h *HCA) kickSend() {
+	if h.dmaBusy {
+		return
+	}
+	if h.obufBytes+h.net.cfg.maxWire() > h.net.cfg.HostObufBytes {
+		return // staging full; dmaDone/txDone will kick again
+	}
+	var p *ib.Packet
+	if h.ctrl.Len() > 0 {
+		p = h.ctrl.Pop()
+	} else if h.source != nil {
+		var wakeAt sim.Time
+		p, wakeAt = h.source.Pull(h.net.simr.Now())
+		if p == nil {
+			h.armWake(wakeAt)
+			return
+		}
+		if h.net.cfg.Check && p.PayloadBytes > ib.MTU {
+			panic("fabric: source produced packet above MTU")
+		}
+	} else {
+		return
+	}
+	h.dmaBusy = true
+	h.dmaPkt = p
+	d := h.net.cfg.InjectionRate.TxTime(p.WireBytes())
+	h.net.simr.ScheduleAction(d, h.dmaAct)
+}
+
+func (h *HCA) dmaDone(p *ib.Packet) {
+	h.dmaBusy = false
+	p.InjectTime = h.net.simr.Now()
+	h.ctr.TxPackets++
+	h.ctr.TxBytes += uint64(p.WireBytes())
+	switch p.Type {
+	case ib.DataPacket:
+		h.ctr.TxDataPayload += uint64(p.PayloadBytes)
+		if p.Hotspot {
+			h.ctr.TxHotspotPayload += uint64(p.PayloadBytes)
+		}
+	case ib.CNPPacket:
+		h.ctr.TxCNP++
+	case ib.AckPacket:
+		h.ctr.TxAck++
+	}
+	h.obuf.Push(p)
+	h.obufBytes += p.WireBytes()
+	h.tryTxOut()
+	h.kickSend()
+}
+
+// tryTxOut moves staged packets onto the wire under credit flow control.
+func (h *HCA) tryTxOut() {
+	if h.out.busy {
+		return
+	}
+	p := h.obuf.Peek()
+	if p == nil || !h.out.canSend(p.VL, p.WireBytes()) {
+		return
+	}
+	h.obuf.Pop()
+	h.obufBytes -= p.WireBytes()
+	ser := h.out.transmit(p)
+	h.net.simr.ScheduleAction(ser, h.txAct)
+	h.kickSend() // staging space freed
+}
+
+func (h *HCA) txDone() {
+	h.out.busy = false
+	h.tryTxOut()
+}
+
+// addCredit is the flow-control update from the attached switch.
+func (h *HCA) addCredit(vl ib.VL, bytes int) {
+	h.out.credits[vl] += bytes
+	if h.net.cfg.Check && h.out.credits[vl] > h.net.cfg.SwitchIbufBytes {
+		panic(fmt.Sprintf("fabric: credit overflow at host %d", h.lid))
+	}
+	if !h.out.busy {
+		h.tryTxOut()
+	}
+}
+
+// armWake schedules a send re-evaluation at t unless one at least as
+// early is already pending. Fired events are recycled by the kernel, so
+// the held handle is validated by its sequence number before use.
+func (h *HCA) armWake(t sim.Time) {
+	if t == sim.MaxTime {
+		return
+	}
+	live := h.wake != nil && h.wake.Seq() == h.wakeSeq
+	if live && !h.wake.Cancelled() && h.wake.Time() > h.net.simr.Now() && h.wake.Time() <= t {
+		return
+	}
+	if live {
+		h.net.simr.Cancel(h.wake)
+	}
+	h.wake = h.net.simr.ScheduleAt(t, h.kickSend)
+	h.wakeSeq = h.wake.Seq()
+}
+
+// arrive admits a packet into the receive buffer and starts the sink if
+// idle. Space is guaranteed by the credit discipline.
+func (h *HCA) arrive(p *ib.Packet) {
+	h.rxFree[p.VL] -= p.WireBytes()
+	if h.net.cfg.Check && h.rxFree[p.VL] < 0 {
+		panic(fmt.Sprintf("fabric: rx buffer overflow at host %d", h.lid))
+	}
+	h.rxQ.Push(p)
+	if !h.sinkBusy {
+		h.consumeNext()
+	}
+}
+
+// consumeNext services the sink queue at the calibrated end-node receive
+// rate; completion frees buffer space (credit back to the leaf switch)
+// and hands the packet to the delivery hook.
+func (h *HCA) consumeNext() {
+	p := h.rxQ.Pop()
+	if p == nil {
+		h.sinkBusy = false
+		return
+	}
+	h.sinkBusy = true
+	h.sinkPkt = p
+	d := h.net.cfg.SinkRate.TxTime(p.WireBytes())
+	h.net.simr.ScheduleAction(d, h.sinkAct)
+}
+
+func (h *HCA) delivered(p *ib.Packet) {
+	h.rxFree[p.VL] += p.WireBytes()
+	h.net.sendCredit(h.up, p.VL, p.WireBytes())
+	h.ctr.RxPackets++
+	h.ctr.RxBytes += uint64(p.WireBytes())
+	switch p.Type {
+	case ib.DataPacket:
+		h.ctr.RxDataPayload += uint64(p.PayloadBytes)
+		h.ctr.Latency.Add(h.net.simr.Now().Sub(p.InjectTime))
+		if p.FECN {
+			h.ctr.RxFECN++
+		}
+	case ib.CNPPacket:
+		h.ctr.RxCNP++
+	case ib.AckPacket:
+		h.ctr.RxAck++
+	}
+	if h.net.hooks.Deliver != nil {
+		h.net.hooks.Deliver(h.lid, p)
+	}
+	h.consumeNext()
+}

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// latBuckets is the number of log2 latency buckets; bucket i holds
+// samples with latency in [2^(i-1), 2^i) picoseconds, which spans from
+// sub-nanosecond to ~40 hours — every latency the model can produce.
+const latBuckets = 48
+
+// LatencyHist is a log2-bucketed histogram of packet latencies
+// (injection-DMA completion to sink delivery) in picoseconds. The zero
+// value is ready to use; the struct is plain data so counter snapshots
+// copy it by value.
+type LatencyHist struct {
+	Buckets [latBuckets]uint64
+	Count   uint64
+	SumPS   uint64
+	MaxPS   uint64
+}
+
+// Add records one latency sample.
+func (h *LatencyHist) Add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.SumPS += uint64(d)
+	if uint64(d) > h.MaxPS {
+		h.MaxPS = uint64(d)
+	}
+}
+
+// Merge adds other's samples into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, v := range other.Buckets {
+		h.Buckets[i] += v
+	}
+	h.Count += other.Count
+	h.SumPS += other.SumPS
+	if other.MaxPS > h.MaxPS {
+		h.MaxPS = other.MaxPS
+	}
+}
+
+// Sub subtracts a baseline snapshot, yielding the histogram of samples
+// recorded after it (Max is carried over conservatively).
+func (h LatencyHist) Sub(base LatencyHist) LatencyHist {
+	out := h
+	for i := range out.Buckets {
+		out.Buckets[i] -= base.Buckets[i]
+	}
+	out.Count -= base.Count
+	out.SumPS -= base.SumPS
+	return out
+}
+
+// Mean returns the mean latency (0 when empty).
+func (h *LatencyHist) Mean() sim.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return sim.Duration(h.SumPS / h.Count)
+}
+
+// Max returns the largest recorded latency.
+func (h *LatencyHist) Max() sim.Duration { return sim.Duration(h.MaxPS) }
+
+// Quantile returns an upper bound of the q-quantile (q in [0,1]): the
+// top of the bucket where the cumulative count crosses q. The bound is
+// within 2x of the true value by construction.
+func (h *LatencyHist) Quantile(q float64) sim.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, v := range h.Buckets {
+		cum += v
+		if cum >= target {
+			return sim.Duration(uint64(1) << uint(i))
+		}
+	}
+	return sim.Duration(h.MaxPS)
+}

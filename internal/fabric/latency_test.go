@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestLatencyHistBasics(t *testing.T) {
+	var h LatencyHist
+	if h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Add(1000) // 1 ns
+	h.Add(3000)
+	h.Add(2000)
+	if h.Count != 3 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Mean() != 2000 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 3000 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Negative latencies clamp to zero rather than corrupting buckets.
+	h.Add(-5)
+	if h.Count != 4 {
+		t.Fatal("negative sample dropped")
+	}
+}
+
+func TestLatencyHistQuantileBounds(t *testing.T) {
+	// The quantile is a log2 upper bound: within 2x above the true
+	// value and never below it.
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h LatencyHist
+		max := uint32(0)
+		for _, v := range raw {
+			h.Add(sim.Duration(v))
+			if v > max {
+				max = v
+			}
+		}
+		q := h.Quantile(1.0)
+		return uint64(q) >= uint64(max) && (max == 0 || uint64(q) <= 2*uint64(max))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistMergeSub(t *testing.T) {
+	var a, b LatencyHist
+	a.Add(100)
+	a.Add(200)
+	b.Add(400)
+	merged := a
+	merged.Merge(&b)
+	if merged.Count != 3 || merged.SumPS != 700 || merged.MaxPS != 400 {
+		t.Fatalf("merge = %+v", merged)
+	}
+	diff := merged.Sub(a)
+	if diff.Count != 1 || diff.SumPS != 400 {
+		t.Fatalf("sub = %+v", diff)
+	}
+}
+
+func TestLatencyHistQuantileClamps(t *testing.T) {
+	var h LatencyHist
+	h.Add(1000)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatal("negative q not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q>1 not clamped")
+	}
+}
+
+func TestDeliveredLatencyUncongested(t *testing.T) {
+	// A lone flow across one switch: latency = output serialization +
+	// per-hop latency/propagation + sink service, a few microseconds,
+	// and stable across packets.
+	tp, _ := topo.SingleSwitch(2)
+	n := buildNet(t, tp, testCfg(), Hooks{})
+	n.HCA(0).SetSource(&floodSource{src: 0, dst: 1, remaining: 100})
+	n.Start()
+	n.Sim().Run()
+	lat := n.HCA(1).Counters().Latency
+	if lat.Count != 100 {
+		t.Fatalf("samples = %d", lat.Count)
+	}
+	// Cut-through pipelines the hops, so the floor is roughly the two
+	// hop latencies plus one sink service time (~1.5 us).
+	mean := lat.Mean()
+	if mean < sim.Microsecond || mean > 4*sim.Microsecond {
+		t.Fatalf("uncongested latency = %v, want ~1.5us", mean)
+	}
+	// Stable: max within 2x of mean.
+	if lat.Max() > 2*mean {
+		t.Fatalf("max %v vs mean %v", lat.Max(), mean)
+	}
+}
+
+func TestDeliveredLatencyGrowsUnderCongestion(t *testing.T) {
+	tp, _ := topo.SingleSwitch(5)
+	n := buildNet(t, tp, testCfg(), Hooks{})
+	for s := 1; s <= 4; s++ {
+		n.HCA(ib.LID(s)).SetSource(&floodSource{src: ib.LID(s), dst: 0, remaining: -1})
+	}
+	n.Start()
+	n.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+	lat := n.HCA(0).Counters().Latency
+	if lat.Count == 0 {
+		t.Fatal("no samples")
+	}
+	// Queues at the hotspot push latency far beyond the uncongested
+	// few microseconds.
+	if lat.Quantile(0.5) < 10*sim.Microsecond {
+		t.Fatalf("congested p50 = %v", lat.Quantile(0.5))
+	}
+}

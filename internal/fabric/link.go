@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// packetTaker is the receiving side of a link: a switch input port or a
+// host receive buffer. arrive is invoked when the packet becomes
+// available to the receiver (head arrival under cut-through, tail arrival
+// under store-and-forward).
+type packetTaker interface {
+	arrive(p *ib.Packet)
+}
+
+// creditTaker is the transmitting side of a link, which consumes credits
+// the receiver returns as its buffer drains.
+type creditTaker interface {
+	addCredit(vl ib.VL, bytes int)
+}
+
+// linkOut is the transmit machinery shared by switch output ports and
+// HCA send ports: per-VL credit counters mirroring downstream free
+// buffer space, a busy flag for the serializer, and the downstream
+// endpoint.
+type linkOut struct {
+	net     *Network
+	credits []int // bytes, per VL
+	busy    bool
+	dst     packetTaker
+	// hostFacing reports whether the downstream endpoint is an HCA.
+	hostFacing bool
+}
+
+func (l *linkOut) initCredits(n, per int) {
+	l.credits = make([]int, n)
+	for i := range l.credits {
+		l.credits[i] = per
+	}
+}
+
+// canSend reports whether the VL has credits for a packet of wire size b.
+func (l *linkOut) canSend(vl ib.VL, b int) bool {
+	return l.credits[vl] >= b
+}
+
+// transmit consumes credits and schedules the downstream arrival; the
+// caller must have checked canSend and the busy flag, and must arrange
+// the tx-done callback via the returned serialization time.
+func (l *linkOut) transmit(p *ib.Packet) sim.Duration {
+	wire := p.WireBytes()
+	l.credits[p.VL] -= wire
+	if l.net.cfg.Check && l.credits[p.VL] < 0 {
+		panic(fmt.Sprintf("fabric: negative credits on vl %d", p.VL))
+	}
+	l.busy = true
+	ser := l.net.cfg.LinkRate.TxTime(wire)
+	arrival := l.net.cfg.PropDelay + l.net.cfg.HopLatency
+	if !l.net.cfg.CutThrough {
+		arrival += ser
+	}
+	l.net.scheduleArrival(arrival, l.dst, p)
+	return ser
+}

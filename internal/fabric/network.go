@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Network instantiates the fabric for a topology: one HCA per host, one
+// SwitchNode per switch, and the credit-flow-controlled links between
+// them, all driven by a shared simulator.
+type Network struct {
+	simr    *sim.Simulator
+	topo    *topo.Topology
+	routing *topo.Routing
+	cfg     Config
+	hooks   Hooks
+
+	hcas     []*HCA        // indexed by host LID
+	switches []*SwitchNode // dense switch index
+	swByNode []*SwitchNode // indexed by NodeID, nil for hosts
+
+	// Recycled per-packet event actions (see actions.go).
+	arrPool []*arrivalAct
+	crdPool []*creditAct
+}
+
+// New wires up the fabric. Hooks may be zero; sources are attached per
+// host afterwards via HCA.SetSource, then Start launches injection.
+func New(s *sim.Simulator, t *topo.Topology, r *topo.Routing, cfg Config, hooks Hooks) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{simr: s, topo: t, routing: r, cfg: cfg, hooks: hooks}
+	n.hcas = make([]*HCA, t.NumHosts)
+	n.swByNode = make([]*SwitchNode, len(t.Nodes))
+
+	for i := range t.Nodes {
+		node := &t.Nodes[i]
+		switch node.Kind {
+		case topo.Host:
+			n.hcas[node.LID] = newHCA(n, node)
+		case topo.Switch:
+			sw := newSwitchNode(n, node, len(n.switches))
+			n.switches = append(n.switches, sw)
+			n.swByNode[node.ID] = sw
+		}
+	}
+
+	// Wire every directed link endpoint: the transmit side gets its
+	// downstream packet taker and initial credits; the receive side
+	// learns where to return credits.
+	for i := range t.Nodes {
+		node := &t.Nodes[i]
+		for pi, port := range node.Ports {
+			if !port.Connected() {
+				continue
+			}
+			peer := &t.Nodes[port.Peer]
+			tx, rxCredits := n.txSide(node, pi)
+			taker, dstIsHost := n.rxSide(peer, port.PeerPort)
+			tx.dst = taker
+			tx.hostFacing = dstIsHost
+			per := n.cfg.SwitchIbufBytes
+			if dstIsHost {
+				per = n.cfg.HostIbufBytes
+			}
+			tx.initCredits(n.cfg.NumVLs, per)
+			// The peer's receive side returns credits to tx.
+			n.setUpstream(peer, port.PeerPort, rxCredits)
+		}
+	}
+	return n, nil
+}
+
+// txSide returns the linkOut of (node, port) and the creditTaker the
+// peer's receiver must send credits to.
+func (n *Network) txSide(node *topo.Node, port int) (*linkOut, creditTaker) {
+	if node.Kind == topo.Host {
+		h := n.hcas[node.LID]
+		return &h.out, h
+	}
+	op := n.swByNode[node.ID].out[port]
+	return &op.linkOut, op
+}
+
+// rxSide returns the packet taker at (node, port).
+func (n *Network) rxSide(node *topo.Node, port int) (packetTaker, bool) {
+	if node.Kind == topo.Host {
+		return n.hcas[node.LID], true
+	}
+	return n.swByNode[node.ID].in[port], false
+}
+
+// setUpstream records ct as the credit destination of (node, port)'s
+// receive side.
+func (n *Network) setUpstream(node *topo.Node, port int, ct creditTaker) {
+	if node.Kind == topo.Host {
+		n.hcas[node.LID].up = ct
+		return
+	}
+	n.swByNode[node.ID].in[port].up = ct
+}
+
+// SetHooks installs policy hooks after construction; it must be called
+// before Start. It lets the congestion-control manager be built against
+// the network and then attached.
+func (n *Network) SetHooks(h Hooks) { n.hooks = h }
+
+// HCA returns the host with the given LID.
+func (n *Network) HCA(lid ib.LID) *HCA { return n.hcas[lid] }
+
+// NumHosts returns the host count.
+func (n *Network) NumHosts() int { return len(n.hcas) }
+
+// Switches returns the switch models in dense-index order.
+func (n *Network) Switches() []*SwitchNode { return n.switches }
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *sim.Simulator { return n.simr }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// Start kicks every HCA send path at the current simulation time.
+func (n *Network) Start() {
+	for _, h := range n.hcas {
+		h.kickSend()
+	}
+}
+
+// CheckQuiescent verifies, after a drain, that all buffers are empty and
+// all credits returned — the global conservation invariant. Tests call
+// it after running the event loop to completion.
+func (n *Network) CheckQuiescent() error {
+	for _, h := range n.hcas {
+		if h.obuf.Len() != 0 || h.rxQ.Len() != 0 || h.dmaBusy || h.sinkBusy || h.out.busy {
+			return fmt.Errorf("fabric: host %d not quiescent", h.lid)
+		}
+		for v, free := range h.rxFree {
+			if free != n.cfg.HostIbufBytes {
+				return fmt.Errorf("fabric: host %d rx vl %d: %d free of %d", h.lid, v, free, n.cfg.HostIbufBytes)
+			}
+		}
+		for v, c := range h.out.credits {
+			if c != n.cfg.SwitchIbufBytes {
+				return fmt.Errorf("fabric: host %d credits vl %d: %d", h.lid, v, c)
+			}
+		}
+	}
+	for _, sw := range n.switches {
+		for pi, op := range sw.out {
+			if op == nil {
+				continue
+			}
+			if op.pending != 0 || op.busy {
+				return fmt.Errorf("fabric: switch %d port %d not quiescent", sw.index, pi)
+			}
+			want := n.cfg.SwitchIbufBytes
+			if op.hostFacing {
+				want = n.cfg.HostIbufBytes
+			}
+			for v, c := range op.credits {
+				if c != want {
+					return fmt.Errorf("fabric: switch %d port %d vl %d credits %d of %d", sw.index, pi, v, c, want)
+				}
+			}
+		}
+		for pi, ip := range sw.in {
+			if ip == nil {
+				continue
+			}
+			for v, free := range ip.free {
+				if free != n.cfg.SwitchIbufBytes {
+					return fmt.Errorf("fabric: switch %d in-port %d vl %d free %d", sw.index, pi, v, free)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package fabric
+
+import "repro/internal/ib"
+
+// pktQueue is a growable FIFO ring buffer of packets, used for VoQs,
+// staging buffers and sink queues. It avoids per-element allocation on
+// the simulator's hottest path.
+type pktQueue struct {
+	buf  []*ib.Packet
+	head int
+	n    int
+}
+
+// Len returns the number of queued packets.
+func (q *pktQueue) Len() int { return q.n }
+
+// Push appends p to the tail.
+func (q *pktQueue) Push(p *ib.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (q *pktQueue) Peek() *ib.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (q *pktQueue) Pop() *ib.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *pktQueue) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]*ib.Packet, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

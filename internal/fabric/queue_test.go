@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ib"
+)
+
+func TestPktQueueFIFO(t *testing.T) {
+	var q pktQueue
+	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+	pkts := make([]*ib.Packet, 20)
+	for i := range pkts {
+		pkts[i] = &ib.Packet{ID: uint64(i)}
+		q.Push(pkts[i])
+	}
+	if q.Len() != 20 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Peek() != pkts[0] {
+		t.Fatal("Peek wrong")
+	}
+	for i := range pkts {
+		if got := q.Pop(); got != pkts[i] {
+			t.Fatalf("pos %d: got %v", i, got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestPktQueueWraparound(t *testing.T) {
+	var q pktQueue
+	id := uint64(0)
+	next := uint64(0)
+	// Interleave pushes and pops to force head to wrap repeatedly.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(&ib.Packet{ID: id})
+			id++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Pop()
+			if p == nil || p.ID != next {
+				t.Fatalf("round %d: got %v want id %d", round, p, next)
+			}
+			next++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.ID != next {
+			t.Fatalf("drain: got %d want %d", p.ID, next)
+		}
+		next++
+	}
+	if next != id {
+		t.Fatalf("lost packets: %d of %d", next, id)
+	}
+}
+
+// Property: any sequence of pushes and pops matches a reference slice
+// implementation.
+func TestPktQueueMatchesReference(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q pktQueue
+		var ref []*ib.Packet
+		id := uint64(0)
+		for _, push := range ops {
+			if push {
+				p := &ib.Packet{ID: id}
+				id++
+				q.Push(p)
+				ref = append(ref, p)
+			} else {
+				var want *ib.Packet
+				if len(ref) > 0 {
+					want = ref[0]
+					ref = ref[1:]
+				}
+				if q.Pop() != want {
+					return false
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 && q.Peek() != ref[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// SwitchNode models one crossbar: per-port input buffers with virtual
+// output queuing over (output port, VL), and a round-robin arbiter per
+// output port granting packets when the serializer is idle and the
+// downstream VL has credits — the ibuf/obuf/vlarb composition of the
+// paper's switch model.
+type SwitchNode struct {
+	net   *Network
+	id    topo.NodeID
+	index int // dense switch index, used by hooks and metrics
+	in    []*swInPort
+	out   []*swOutPort
+}
+
+// swInPort is the receiving side of a switch port: it accounts the
+// per-VL buffer space the upstream sender sees as credits.
+type swInPort struct {
+	sw   *SwitchNode
+	port int
+	free []int // remaining buffer bytes per VL
+	up   creditTaker
+}
+
+// swOutPort is the transmitting side of a switch port: VoQs per
+// (input port, VL), per-VL queued-byte accounting for congestion
+// detection, and the round-robin arbitration state.
+type swOutPort struct {
+	linkOut
+	sw      *SwitchNode
+	port    int
+	voqs    []pktQueue // [inPort*numVLs + vl]
+	qbytes  []int      // queued bytes per VL across all inputs
+	rr      int        // arbitration pointer into voqs
+	pending int        // total queued packets
+	txAct   sim.Action // pre-bound serializer-done callback
+}
+
+func newSwitchNode(n *Network, node *topo.Node, index int) *SwitchNode {
+	sw := &SwitchNode{net: n, id: node.ID, index: index}
+	nports := len(node.Ports)
+	sw.in = make([]*swInPort, nports)
+	sw.out = make([]*swOutPort, nports)
+	for p := 0; p < nports; p++ {
+		if !node.Ports[p].Connected() {
+			continue
+		}
+		ip := &swInPort{sw: sw, port: p, free: make([]int, n.cfg.NumVLs)}
+		for v := range ip.free {
+			ip.free[v] = n.cfg.SwitchIbufBytes
+		}
+		sw.in[p] = ip
+		op := &swOutPort{sw: sw, port: p}
+		op.net = n
+		op.voqs = make([]pktQueue, nports*n.cfg.NumVLs)
+		op.qbytes = make([]int, n.cfg.NumVLs)
+		op.txAct = swTxAct{op}
+		sw.out[p] = op
+	}
+	return sw
+}
+
+// arrive admits a packet into the input buffer, routes it, and enqueues
+// it on the VoQ of its output port. Buffer space is guaranteed by the
+// upstream credit discipline; running out here is a model bug.
+func (ip *swInPort) arrive(p *ib.Packet) {
+	n := ip.sw.net
+	wire := p.WireBytes()
+	ip.free[p.VL] -= wire
+	if n.cfg.Check && ip.free[p.VL] < 0 {
+		panic(fmt.Sprintf("fabric: ibuf overflow at switch %d port %d vl %d", ip.sw.index, ip.port, p.VL))
+	}
+	outPort := n.routing.OutPort(ip.sw.id, p.Dst)
+	op := ip.sw.out[outPort]
+	if n.cfg.Check && op == nil {
+		panic(fmt.Sprintf("fabric: route to %d via unconnected port %d of switch %d", p.Dst, outPort, ip.sw.index))
+	}
+	op.enqueue(ip.port, p)
+}
+
+func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
+	n := op.net
+	nv := n.cfg.NumVLs
+	// Arrival-side congestion sampling: the hook sees the queue the
+	// packet joins, before it is added.
+	if n.hooks.SwitchEnqueue != nil && p.Type == ib.DataPacket {
+		st := PortVLState{
+			QueuedBytes:   op.qbytes[p.VL],
+			CreditBytes:   op.credits[p.VL],
+			CapacityBytes: n.cfg.SwitchIbufBytes,
+			HostPort:      op.hostFacing,
+		}
+		n.hooks.SwitchEnqueue(op.sw.index, op.port, p, st)
+	}
+	op.voqs[inPort*nv+int(p.VL)].Push(p)
+	op.qbytes[p.VL] += p.WireBytes()
+	op.pending++
+	if !op.busy {
+		op.tryTx()
+	}
+}
+
+// tryTx runs the output arbiter: starting from the round-robin pointer,
+// grant the first VoQ whose head packet has downstream credits. The
+// grant frees input-buffer space (returning a credit upstream), gives
+// the congestion-control hook a chance to FECN-mark the departing
+// packet, and occupies the serializer.
+func (op *swOutPort) tryTx() {
+	if op.busy || op.pending == 0 {
+		return
+	}
+	n := op.net
+	total := len(op.voqs)
+	for i := 0; i < total; i++ {
+		k := op.rr + i
+		if k >= total {
+			k -= total
+		}
+		q := &op.voqs[k]
+		head := q.Peek()
+		if head == nil {
+			continue
+		}
+		// The packet may continue on a different VL (dateline
+		// switching); the grant needs credits on the outgoing VL.
+		vlNext := head.VL
+		if n.hooks.SelectVL != nil {
+			vlNext = n.hooks.SelectVL(op.sw.index, k/n.cfg.NumVLs, op.port, head)
+		}
+		if !op.canSend(vlNext, head.WireBytes()) {
+			continue
+		}
+		op.rr = k + 1
+		if op.rr == total {
+			op.rr = 0
+		}
+		q.Pop()
+		op.pending--
+		wire := head.WireBytes()
+		vl := int(head.VL)
+
+		op.qbytes[vl] -= wire
+		// Congestion-control hook sees the queue left behind the
+		// departing packet and the credit state after this grant.
+		if n.hooks.SwitchDeparture != nil && head.Type == ib.DataPacket {
+			st := PortVLState{
+				QueuedBytes:   op.qbytes[vl],
+				CreditBytes:   op.credits[vl] - wire,
+				CapacityBytes: n.cfg.SwitchIbufBytes,
+				HostPort:      op.hostFacing,
+			}
+			n.hooks.SwitchDeparture(op.sw.index, op.port, head, st)
+		}
+
+		// Free the input buffer slot and return the credit upstream
+		// on the VL the packet occupied locally, then move it to its
+		// outgoing VL.
+		ip := op.sw.in[k/n.cfg.NumVLs]
+		ip.free[head.VL] += wire
+		n.sendCredit(ip.up, head.VL, wire)
+		head.VL = vlNext
+
+		ser := op.transmit(head)
+		n.simr.ScheduleAction(ser, op.txAct)
+		return
+	}
+}
+
+func (op *swOutPort) txDone() {
+	op.busy = false
+	op.tryTx()
+}
+
+// addCredit is the flow-control update from downstream; fresh credits
+// may unblock the arbiter.
+func (op *swOutPort) addCredit(vl ib.VL, bytes int) {
+	op.credits[vl] += bytes
+	if op.net.cfg.Check && op.credits[vl] > downstreamCap(op) {
+		panic(fmt.Sprintf("fabric: credit overflow at switch %d port %d", op.sw.index, op.port))
+	}
+	if !op.busy {
+		op.tryTx()
+	}
+}
+
+// downstreamCap returns the downstream buffer capacity this output's
+// credits are bounded by (only used under Check).
+func downstreamCap(op *swOutPort) int {
+	if op.hostFacing {
+		return op.net.cfg.HostIbufBytes
+	}
+	return op.net.cfg.SwitchIbufBytes
+}
+
+// QueuedBytes reports the bytes queued for output port out on vl; tests
+// and the CC manager's observability use it.
+func (s *SwitchNode) QueuedBytes(out int, vl ib.VL) int {
+	if s.out[out] == nil {
+		return 0
+	}
+	return s.out[out].qbytes[vl]
+}
+
+// Index returns the dense switch index.
+func (s *SwitchNode) Index() int { return s.index }
+
+// NodeID returns the topology node of this switch.
+func (s *SwitchNode) NodeID() topo.NodeID { return s.id }

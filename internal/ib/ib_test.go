@@ -1,0 +1,90 @@
+package ib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWireBytesData(t *testing.T) {
+	p := &Packet{Type: DataPacket, PayloadBytes: MTU}
+	if got := p.WireBytes(); got != MTU+HeaderBytes {
+		t.Fatalf("WireBytes = %d", got)
+	}
+}
+
+func TestWireBytesCNP(t *testing.T) {
+	p := &Packet{Type: CNPPacket, PayloadBytes: 9999} // payload ignored
+	if got := p.WireBytes(); got != CNPBytes+HeaderBytes {
+		t.Fatalf("WireBytes = %d", got)
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	p := &Packet{Src: 5, Dst: 9}
+	if p.Flow() != (FlowKey{5, 9}) {
+		t.Fatalf("Flow = %v", p.Flow())
+	}
+	if s := (FlowKey{5, 9}).String(); s != "5->9" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFlowKeyIsComparableMapKey(t *testing.T) {
+	m := map[FlowKey]int{}
+	m[FlowKey{1, 2}]++
+	m[FlowKey{1, 2}]++
+	m[FlowKey{2, 1}]++
+	if m[FlowKey{1, 2}] != 2 || m[FlowKey{2, 1}] != 1 {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+func TestMessageConstants(t *testing.T) {
+	if MessageBytes != 2*MTU {
+		t.Fatalf("a message must be exactly two MTU packets (paper §IV)")
+	}
+}
+
+func TestDefaultRates(t *testing.T) {
+	if DefaultLinkRate().Gbps() != 20 {
+		t.Fatalf("link rate = %v", DefaultLinkRate().Gbps())
+	}
+	if DefaultInjectionRate().Gbps() != 13.5 {
+		t.Fatalf("injection rate = %v", DefaultInjectionRate().Gbps())
+	}
+	// Serialization of one MTU data packet must exceed the pure-payload
+	// time because of header framing.
+	withHdr := DefaultLinkRate().TxTime(MTU + HeaderBytes)
+	bare := DefaultLinkRate().TxTime(MTU)
+	if withHdr <= bare {
+		t.Fatal("header overhead not accounted")
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	if DataPacket.String() != "data" || CNPPacket.String() != "cnp" {
+		t.Fatal("type strings wrong")
+	}
+	if s := PacketType(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown type string = %q", s)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 7, Type: DataPacket, Src: 1, Dst: 2, SL: 0, VL: 0,
+		PayloadBytes: MTU, FECN: true, InjectTime: sim.Time(0)}
+	s := p.String()
+	for _, want := range []string{"data#7", "1->2", "fecn=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNoLID(t *testing.T) {
+	if NoLID >= 0 {
+		t.Fatal("NoLID must be negative so it never collides with a real LID")
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+// Event is a scheduled callback. Events are created through the
+// Simulator's Schedule methods; cancelling marks the event dead and it
+// is discarded when it reaches the head of the queue. Fired and dead
+// events are recycled: a held *Event is only valid until its event
+// fires, so holders that may outlive it must remember Seq() and compare
+// before acting on the handle.
+type Event struct {
+	time Time
+	seq  uint64 // insertion order; breaks ties deterministically (FIFO)
+	fn   func()
+	act  Action
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Action is an allocation-free alternative to a closure callback:
+// model components pre-allocate an Action and re-schedule it instead of
+// capturing state in a new func value per event.
+type Action interface {
+	// Act runs the callback.
+	Act()
+}
+
+// Time returns the instant the event fires (or was scheduled to fire).
+func (e *Event) Time() Time { return e.time }
+
+// Seq returns the event's unique schedule sequence number; holders that
+// keep an *Event across its firing use it to detect recycled handles.
+func (e *Event) Seq() uint64 { return e.seq }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// eventQueue is a binary min-heap ordered by (time, seq). A hand-rolled
+// heap (rather than container/heap) avoids interface boxing on the hot
+// path; the simulator processes tens of millions of events per run.
+type eventQueue struct {
+	items []*Event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e into the heap.
+func (q *eventQueue) push(e *Event) {
+	e.idx = len(q.items)
+	q.items = append(q.items, e)
+	q.up(e.idx)
+}
+
+// pop removes and returns the earliest event, or nil if empty.
+func (q *eventQueue) pop() *Event {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	top := q.items[0]
+	last := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if n > 1 {
+		q.items[0] = last
+		last.idx = 0
+		q.down(0)
+	}
+	top.idx = -1
+	return top
+}
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (q *eventQueue) peek() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	item := q.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(item, q.items[parent]) {
+			break
+		}
+		q.items[i] = q.items[parent]
+		q.items[i].idx = i
+		i = parent
+	}
+	q.items[i] = item
+	item.idx = i
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	item := q.items[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(q.items[r], q.items[l]) {
+			child = r
+		}
+		if !q.less(q.items[child], item) {
+			break
+		}
+		q.items[i] = q.items[child]
+		q.items[i].idx = i
+		i = child
+	}
+	q.items[i] = item
+	item.idx = i
+}

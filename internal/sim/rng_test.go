@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	base := NewRNG(99)
+	s1 := base.Derive(1)
+	s2 := base.Derive(2)
+	s1again := NewRNG(99).Derive(1)
+	if s1.Uint64() != s1again.Uint64() {
+		t.Fatal("Derive not deterministic")
+	}
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams coincide %d/100 times", same)
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	a := NewRNG(5)
+	b := NewRNG(5)
+	_ = a.Derive(123)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 4*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d (want ~%.0f)", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(5)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	r := NewRNG(23)
+	mean := 100 * Nanosecond
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.02*float64(mean) {
+		t.Fatalf("empirical mean %.0f ps, want ~%d", got, int64(mean))
+	}
+}
+
+func TestExpDurationZeroMean(t *testing.T) {
+	if d := NewRNG(1).ExpDuration(0); d != 0 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(648)
+	}
+	_ = sink
+}

@@ -1,0 +1,158 @@
+package sim
+
+import "fmt"
+
+// Simulator owns the simulated clock and the future-event list. It is not
+// safe for concurrent use: the discrete-event model is inherently
+// sequential, and determinism (identical seed → identical trajectory) is a
+// design requirement for reproducing the paper's experiments.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	pool    []*Event
+
+	// Processed counts events executed since construction (dead events
+	// discarded from the queue are not counted).
+	processed uint64
+}
+
+// New returns a Simulator with the clock at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events in the future-event list,
+// including cancelled events not yet discarded.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule runs fn after delay d. It returns the event handle, which can
+// be cancelled. A negative delay is a programming error and panics.
+func (s *Simulator) Schedule(d Duration, fn func()) *Event {
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute time t. Scheduling in the past panics:
+// causality violations are bugs in the model, never legitimate.
+func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: scheduling nil function")
+	}
+	e := s.alloc(t)
+	e.fn = fn
+	s.queue.push(e)
+	return e
+}
+
+// ScheduleAction runs a pre-allocated Action after delay d without
+// allocating a closure — the hot-path variant the fabric uses for its
+// per-packet events.
+func (s *Simulator) ScheduleAction(d Duration, a Action) *Event {
+	if a == nil {
+		panic("sim: scheduling nil action")
+	}
+	e := s.alloc(s.now.Add(d))
+	e.act = a
+	s.queue.push(e)
+	return e
+}
+
+// alloc takes an event from the recycle pool or makes a new one.
+func (s *Simulator) alloc(t Time) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	var e *Event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		e = &Event{}
+	}
+	*e = Event{time: t, seq: s.seq, idx: -1}
+	s.seq++
+	return e
+}
+
+// release recycles a fired or discarded event.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.act = nil
+	if len(s.pool) < 4096 {
+		s.pool = append(s.pool, e)
+	}
+}
+
+// Cancel marks e dead so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e != nil {
+		e.dead = true
+		e.fn = nil
+	}
+}
+
+// Stop makes the current Run return after the executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the number of events executed by this call.
+func (s *Simulator) Run() uint64 {
+	return s.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with time ≤ end, in (time, insertion) order,
+// until the queue is exhausted, Stop is called, or the next event is
+// beyond end. The clock is left at the later of its current value and
+// end if the horizon was reached, so subsequent scheduling is relative to
+// the horizon. It returns the number of events executed by this call.
+func (s *Simulator) RunUntil(end Time) uint64 {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	var n uint64
+	for !s.stopped {
+		e := s.queue.peek()
+		if e == nil {
+			break
+		}
+		if e.time > end {
+			if end != MaxTime && s.now < end {
+				s.now = end
+			}
+			return n
+		}
+		s.queue.pop()
+		if e.dead {
+			s.release(e)
+			continue
+		}
+		s.now = e.time
+		fn, act := e.fn, e.act
+		s.release(e)
+		if act != nil {
+			act.Act()
+		} else {
+			fn()
+		}
+		n++
+		s.processed++
+	}
+	if end != MaxTime && s.now < end && s.queue.Len() == 0 && !s.stopped {
+		s.now = end
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package topo
+
+import "fmt"
+
+// KAryNTree builds the classic k-ary n-tree: k^n end nodes, n levels of
+// k^(n-1) switches, every switch with k down and k up ports (the top
+// level leaves its up ports unused). The folded-Clos FatTree in this
+// package is the n=2 member of the same family with asymmetric radix;
+// this generalization covers deeper fabrics such as the three-level
+// trees large installations build when a two-level Clos runs out of
+// ports.
+//
+// Wiring follows the standard digit rule: switch ⟨w, l⟩ (w written in
+// base k with n−1 digits) connects upward to every switch ⟨w', l+1⟩
+// whose digits agree with w except at position l. Host h attaches to
+// leaf switch h/k via its down port h mod k.
+func KAryNTree(k, n int) (*Topology, error) {
+	if k < 2 || n < 1 {
+		return nil, fmt.Errorf("topo: k-ary n-tree needs k >= 2, n >= 1 (got k=%d n=%d)", k, n)
+	}
+	hosts := 1
+	for i := 0; i < n; i++ {
+		hosts *= k
+		if hosts > 1<<20 {
+			return nil, fmt.Errorf("topo: k=%d n=%d exceeds the supported size", k, n)
+		}
+	}
+	perLevel := hosts / k // k^(n-1)
+	b := NewBuilder(fmt.Sprintf("%d-ary-%d-tree (%d nodes)", k, n, hosts))
+
+	hostIDs := make([]NodeID, hosts)
+	for i := range hostIDs {
+		hostIDs[i] = b.AddHost(fmt.Sprintf("node%d", i))
+	}
+	// switches[l][w]
+	switches := make([][]NodeID, n)
+	for l := 0; l < n; l++ {
+		switches[l] = make([]NodeID, perLevel)
+		for w := 0; w < perLevel; w++ {
+			switches[l][w] = b.AddSwitch(fmt.Sprintf("sw%d.%d", l, w), 2*k)
+		}
+	}
+
+	// Hosts onto leaves.
+	for h := 0; h < hosts; h++ {
+		b.Connect(hostIDs[h], 0, switches[0][h/k], h%k)
+	}
+	// digit returns digit position pos of w in base k.
+	digit := func(w, pos int) int {
+		for ; pos > 0; pos-- {
+			w /= k
+		}
+		return w % k
+	}
+	// setDigit returns w with digit position pos replaced by v.
+	setDigit := func(w, pos, v int) int {
+		scale := 1
+		for p := 0; p < pos; p++ {
+			scale *= k
+		}
+		return w + (v-digit(w, pos))*scale
+	}
+	// Inter-level links: switch (l, w) up-port j goes to (l+1, w with
+	// digit l = j), arriving at that switch's down-port digit_l(w).
+	for l := 0; l+1 < n; l++ {
+		for w := 0; w < perLevel; w++ {
+			for j := 0; j < k; j++ {
+				up := setDigit(w, l, j)
+				b.Connect(switches[l][w], k+j, switches[l+1][up], digit(w, l))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,163 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+)
+
+func TestKAryNTreeShapes(t *testing.T) {
+	cases := []struct {
+		k, n             int
+		hosts, perSwitch int
+	}{
+		{2, 2, 4, 2},
+		{2, 3, 8, 4},
+		{3, 2, 9, 3},
+		{4, 3, 64, 16},
+	}
+	for _, c := range cases {
+		tp, err := KAryNTree(c.k, c.n)
+		if err != nil {
+			t.Fatalf("k=%d n=%d: %v", c.k, c.n, err)
+		}
+		if tp.NumHosts != c.hosts {
+			t.Fatalf("k=%d n=%d: %d hosts, want %d", c.k, c.n, tp.NumHosts, c.hosts)
+		}
+		if tp.NumSwitches() != c.n*c.perSwitch {
+			t.Fatalf("k=%d n=%d: %d switches, want %d", c.k, c.n, tp.NumSwitches(), c.n*c.perSwitch)
+		}
+	}
+}
+
+func TestKAryNTreeRejectsBadArgs(t *testing.T) {
+	for _, c := range [][2]int{{1, 2}, {2, 0}, {0, 3}, {2, 25}} {
+		if _, err := KAryNTree(c[0], c[1]); err == nil {
+			t.Errorf("k=%d n=%d accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestKAryNTreeRoutesReach(t *testing.T) {
+	tp, err := KAryNTree(2, 3) // 8 hosts, 12 switches, 3 levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < tp.NumHosts; s++ {
+		for d := 0; d < tp.NumHosts; d++ {
+			path, err := Trace(tp, r, ib.LID(s), ib.LID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			sw := 0
+			for _, n := range path {
+				if tp.Nodes[n].Kind == Switch {
+					sw++
+				}
+			}
+			// Up-down routing in an n-level tree crosses at most
+			// 2n-1 switches.
+			if s != d && (sw < 1 || sw > 5) {
+				t.Fatalf("route %d->%d crosses %d switches", s, d, sw)
+			}
+			// Same-leaf pairs stay on the leaf.
+			if s != d && s/2 == d/2 && sw != 1 {
+				t.Fatalf("intra-leaf route %d->%d used %d switches", s, d, sw)
+			}
+		}
+	}
+}
+
+func TestKAryNTreeFullBisection(t *testing.T) {
+	// Every level must carry hosts*k ports of capacity upward except
+	// the top: count inter-level links.
+	tp, _ := KAryNTree(3, 3) // 27 hosts
+	interSwitch := 0
+	for _, l := range tp.Links() {
+		a := tp.Nodes[l[0][0]]
+		b := tp.Nodes[l[1][0]]
+		if a.Kind == Switch && b.Kind == Switch {
+			interSwitch++
+		}
+	}
+	// n-1 = 2 level gaps, each with k^(n-1) * k = 27 links.
+	if interSwitch != 54 {
+		t.Fatalf("inter-switch links = %d, want 54", interSwitch)
+	}
+}
+
+func TestFatTreeDegradedRoutesAroundDeadSpine(t *testing.T) {
+	tp, err := FatTreeDegraded(6, DeadSpines(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSpine := tp.Nodes[tp.NumHosts+6] // spines follow the 6 leaves
+	if deadSpine.Kind != Switch || deadSpine.Name != "spine0" {
+		t.Fatalf("layout assumption broken: %s", deadSpine.Name)
+	}
+	for s := 0; s < tp.NumHosts; s++ {
+		for d := 0; d < tp.NumHosts; d++ {
+			path, err := Trace(tp, r, ib.LID(s), ib.LID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			for _, n := range path {
+				if n == deadSpine.ID {
+					t.Fatalf("route %d->%d crosses the dead spine", s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeDegradedSurvivingLoadRises(t *testing.T) {
+	// With spine 0 dead, its destinations shift to the survivors: the
+	// per-uplink destination spread becomes uneven.
+	full, _ := FatTree(6)
+	rFull, _ := ComputeLFT(full)
+	deg, _ := FatTreeDegraded(6, DeadSpines(0))
+	rDeg, _ := ComputeLFT(deg)
+
+	counts := func(tp *Topology, r *Routing) map[int]int {
+		leaf := NodeID(tp.NumHosts) // leaf0
+		m := map[int]int{}
+		for d := 0; d < tp.NumHosts; d++ {
+			if d/3 == 0 {
+				continue // local
+			}
+			m[r.OutPort(leaf, ib.LID(d))]++
+		}
+		return m
+	}
+	cFull, cDeg := counts(full, rFull), counts(deg, rDeg)
+	if len(cFull) != 3 || len(cDeg) != 2 {
+		t.Fatalf("uplinks used: full %v degraded %v", cFull, cDeg)
+	}
+	for port, n := range cDeg {
+		if n <= cFull[port] {
+			t.Fatalf("surviving uplink %d load did not rise: %d vs %d", port, n, cFull[port])
+		}
+	}
+}
+
+func TestFatTreeDegradedRejectsTotalFailure(t *testing.T) {
+	if _, err := FatTreeDegraded(4, func(l, s int) bool { return true }); err == nil {
+		t.Fatal("accepted fabric with no spine links")
+	}
+	if _, err := FatTreeDegraded(3, nil); err == nil {
+		t.Fatal("accepted odd radix")
+	}
+	// nil skip degenerates to the full fat-tree.
+	tp, err := FatTreeDegraded(4, nil)
+	if err != nil || tp.NumHosts != 8 {
+		t.Fatalf("nil skip: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ib"
+)
+
+// Routing holds the linear forwarding tables: for every switch, the
+// output port towards every destination host LID. Hosts always transmit
+// on their single port and need no table.
+type Routing struct {
+	// lft[nodeID][dstLID] = output port; nil for hosts.
+	lft [][]int16
+}
+
+// OutPort returns the output port switch n uses towards dst.
+func (r *Routing) OutPort(n NodeID, dst ib.LID) int {
+	return int(r.lft[n][dst])
+}
+
+// ComputeLFT builds destination-routed minimum-hop forwarding tables with
+// a deterministic destination-modulo tie-break among equal-cost ports.
+// On the fat-tree this degenerates to the classic balanced oblivious
+// scheme (up-path spine = dst mod numSpines, unique down-path), matching
+// the routing the paper's simulator uses; on arbitrary topologies it
+// yields deterministic min-hop routing with load spreading.
+func ComputeLFT(t *Topology) (*Routing, error) {
+	n := len(t.Nodes)
+	r := &Routing{lft: make([][]int16, n)}
+	for i := range t.Nodes {
+		if t.Nodes[i].Kind == Switch {
+			row := make([]int16, t.NumHosts)
+			for j := range row {
+				row[j] = -1
+			}
+			r.lft[i] = row
+		}
+	}
+
+	dist := make([]int32, n)
+	queue := make([]NodeID, 0, n)
+	for dstLID := 0; dstLID < t.NumHosts; dstLID++ {
+		dstNode := t.hostByLID[dstLID]
+		// BFS over the full node graph from the destination host.
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dstNode] = 0
+		queue = queue[:0]
+		queue = append(queue, dstNode)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range t.Nodes[cur].Ports {
+				if !p.Connected() || dist[p.Peer] != -1 {
+					continue
+				}
+				dist[p.Peer] = dist[cur] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+		for i := range t.Nodes {
+			sw := &t.Nodes[i]
+			if sw.Kind != Switch {
+				continue
+			}
+			if dist[sw.ID] < 0 {
+				if !hasLinks(sw) {
+					continue // fully failed switch: carries no traffic
+				}
+				return nil, fmt.Errorf("topo: switch %q cannot reach host LID %d", sw.Name, dstLID)
+			}
+			var cands []int
+			for pi, p := range sw.Ports {
+				if p.Connected() && dist[p.Peer] == dist[sw.ID]-1 {
+					cands = append(cands, pi)
+				}
+			}
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("topo: no forwarding port on %q towards LID %d", sw.Name, dstLID)
+			}
+			sort.Ints(cands)
+			r.lft[sw.ID][dstLID] = int16(cands[dstLID%len(cands)])
+		}
+	}
+	return r, nil
+}
+
+// hasLinks reports whether any port of the node is connected.
+func hasLinks(n *Node) bool {
+	for _, p := range n.Ports {
+		if p.Connected() {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace follows the forwarding tables from src to dst and returns the
+// node sequence visited, including both hosts. It fails on forwarding
+// loops or missing table entries, so tests can assert route sanity.
+func Trace(t *Topology, r *Routing, src, dst ib.LID) ([]NodeID, error) {
+	if src == dst {
+		return []NodeID{t.hostByLID[src]}, nil
+	}
+	cur := t.hostByLID[src]
+	path := []NodeID{cur}
+	// First hop: the host's single port.
+	cur = t.Nodes[cur].Ports[0].Peer
+	for hops := 0; ; hops++ {
+		if hops > len(t.Nodes) {
+			return nil, fmt.Errorf("topo: forwarding loop from %d to %d: %v", src, dst, path)
+		}
+		path = append(path, cur)
+		node := &t.Nodes[cur]
+		if node.Kind == Host {
+			if node.LID != dst {
+				return nil, fmt.Errorf("topo: route from %d to %d arrived at host %d", src, dst, node.LID)
+			}
+			return path, nil
+		}
+		out := r.OutPort(cur, dst)
+		if out < 0 || out >= len(node.Ports) || !node.Ports[out].Connected() {
+			return nil, fmt.Errorf("topo: switch %q has no valid port towards %d", node.Name, dst)
+		}
+		cur = node.Ports[out].Peer
+	}
+}

@@ -1,0 +1,347 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ib"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	h0 := b.AddHost("h0")
+	h1 := b.AddHost("h1")
+	sw := b.AddSwitch("sw", 4)
+	b.Connect(h0, 0, sw, 0)
+	b.Connect(h1, 0, sw, 1)
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 2 || tp.NumSwitches() != 1 {
+		t.Fatalf("counts: %d hosts %d switches", tp.NumHosts, tp.NumSwitches())
+	}
+	if tp.Nodes[h0].LID != 0 || tp.Nodes[h1].LID != 1 {
+		t.Fatal("host LIDs not dense from 0")
+	}
+	if tp.Nodes[sw].LID != 2 {
+		t.Fatalf("switch LID = %d", tp.Nodes[sw].LID)
+	}
+	if tp.Host(1).ID != h1 {
+		t.Fatal("Host lookup wrong")
+	}
+	// Link symmetry.
+	if tp.Nodes[sw].Ports[0].Peer != h0 || tp.Nodes[h0].Ports[0].Peer != sw {
+		t.Fatal("connect not symmetric")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unconnected host", func(t *testing.T) {
+		b := NewBuilder("t")
+		b.AddHost("h")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("double connect", func(t *testing.T) {
+		b := NewBuilder("t")
+		h := b.AddHost("h")
+		s := b.AddSwitch("s", 2)
+		b.Connect(h, 0, s, 0)
+		b.Connect(h, 0, s, 1)
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "already connected") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("port out of range", func(t *testing.T) {
+		b := NewBuilder("t")
+		h := b.AddHost("h")
+		s := b.AddSwitch("s", 2)
+		b.Connect(h, 5, s, 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("node out of range", func(t *testing.T) {
+		b := NewBuilder("t")
+		h := b.AddHost("h")
+		b.Connect(h, 0, NodeID(99), 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		b := NewBuilder("t")
+		s := b.AddSwitch("s", 2)
+		b.Connect(s, 0, s, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+func TestLinksEnumeration(t *testing.T) {
+	tp, err := SingleSwitch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := tp.Links()
+	if len(links) != 4 {
+		t.Fatalf("links = %d, want 4", len(links))
+	}
+	seen := map[[2][2]int]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Host.String() != "host" || Switch.String() != "switch" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestFatTreeShape648(t *testing.T) {
+	hosts, leaves, spines := FatTreeShape(SunDCS648Radix)
+	if hosts != 648 || leaves != 36 || spines != 18 {
+		t.Fatalf("shape = %d/%d/%d", hosts, leaves, spines)
+	}
+	if leaves+spines != 54 {
+		t.Fatal("Sun DCS 648 must be 54 crossbars")
+	}
+}
+
+func TestFatTreeBuild(t *testing.T) {
+	for _, radix := range []int{2, 4, 6, 12, 18} {
+		tp, err := FatTree(radix)
+		if err != nil {
+			t.Fatalf("radix %d: %v", radix, err)
+		}
+		wantHosts := radix * radix / 2
+		if tp.NumHosts != wantHosts {
+			t.Fatalf("radix %d: %d hosts, want %d", radix, tp.NumHosts, wantHosts)
+		}
+		if tp.NumSwitches() != radix+radix/2 {
+			t.Fatalf("radix %d: %d switches", radix, tp.NumSwitches())
+		}
+		// Every leaf fully wired: half hosts + half spines.
+		for _, n := range tp.Nodes {
+			if n.Kind != Switch {
+				if !n.Ports[0].Connected() {
+					t.Fatalf("host %s unconnected", n.Name)
+				}
+				continue
+			}
+			for pi, p := range n.Ports {
+				if !p.Connected() {
+					t.Fatalf("radix %d: %s port %d unconnected", radix, n.Name, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeRejectsBadRadix(t *testing.T) {
+	for _, radix := range []int{0, 1, 3, 7, -4} {
+		if _, err := FatTree(radix); err == nil {
+			t.Errorf("radix %d accepted", radix)
+		}
+	}
+}
+
+func TestFatTree648Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size topology in -short mode")
+	}
+	tp, err := FatTree(SunDCS648Radix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 648 || tp.NumSwitches() != 54 {
+		t.Fatalf("DCS 648 shape wrong: %d hosts %d switches", tp.NumHosts, tp.NumSwitches())
+	}
+	if _, err := ComputeLFT(tp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSwitch(t *testing.T) {
+	tp, err := SingleSwitch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 8 || tp.NumSwitches() != 1 {
+		t.Fatal("shape wrong")
+	}
+	if _, err := SingleSwitch(1); err == nil {
+		t.Fatal("accepted degenerate crossbar")
+	}
+}
+
+func TestLinearChain(t *testing.T) {
+	tp, err := LinearChain(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 8 || tp.NumSwitches() != 4 {
+		t.Fatal("shape wrong")
+	}
+	if _, err := LinearChain(0, 1); err == nil {
+		t.Fatal("accepted empty chain")
+	}
+	r, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end route crosses all four switches.
+	path, err := Trace(tp, r, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := 0
+	for _, n := range path {
+		if tp.Nodes[n].Kind == Switch {
+			sw++
+		}
+	}
+	if sw != 4 {
+		t.Fatalf("route 0->7 crossed %d switches, want 4 (%v)", sw, path)
+	}
+}
+
+func TestLFTAllRoutesReach(t *testing.T) {
+	tp, err := FatTree(6) // 18 hosts, 9 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < tp.NumHosts; s++ {
+		for d := 0; d < tp.NumHosts; d++ {
+			path, err := Trace(tp, r, ib.LID(s), ib.LID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			// Fat-tree up/down: at most 3 switch hops (leaf-spine-leaf).
+			swHops := 0
+			for _, n := range path {
+				if tp.Nodes[n].Kind == Switch {
+					swHops++
+				}
+			}
+			if s != d && (swHops < 1 || swHops > 3) {
+				t.Fatalf("route %d->%d has %d switch hops", s, d, swHops)
+			}
+			// Same-leaf pairs must not leave the leaf.
+			if s != d && s/3 == d/3 && swHops != 1 {
+				t.Fatalf("intra-leaf route %d->%d used %d switches", s, d, swHops)
+			}
+		}
+	}
+}
+
+func TestLFTSpineBalance(t *testing.T) {
+	// The destination-modulo tie-break must spread destinations evenly
+	// over spines: for radix r, each leaf's uplink s carries exactly the
+	// destinations with dst mod (r/2) == s among remote hosts.
+	tp, err := FatTree(8) // 32 hosts, 8 leaves, 4 spines
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := 4
+	for l := 0; l < 8; l++ {
+		leafID := NodeID(tp.NumHosts + l) // leaves added right after hosts
+		if tp.Nodes[leafID].Kind != Switch {
+			t.Fatal("leaf indexing assumption broken")
+		}
+		counts := make(map[int]int)
+		for d := 0; d < tp.NumHosts; d++ {
+			if d/half == l {
+				continue // local destination goes down, not up
+			}
+			counts[r.OutPort(leafID, ib.LID(d))]++
+		}
+		for port, c := range counts {
+			if port < half {
+				t.Fatalf("leaf %d routes remote dst out host port %d", l, port)
+			}
+			if c != (tp.NumHosts-half)/half {
+				t.Fatalf("leaf %d uplink %d carries %d destinations, want %d",
+					l, port, c, (tp.NumHosts-half)/half)
+			}
+		}
+	}
+}
+
+func TestLFTDeterministic(t *testing.T) {
+	tp, _ := FatTree(6)
+	r1, err := ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := ComputeLFT(tp)
+	for n := range tp.Nodes {
+		if tp.Nodes[n].Kind != Switch {
+			continue
+		}
+		for d := 0; d < tp.NumHosts; d++ {
+			if r1.OutPort(NodeID(n), ib.LID(d)) != r2.OutPort(NodeID(n), ib.LID(d)) {
+				t.Fatal("LFT computation not deterministic")
+			}
+		}
+	}
+}
+
+func TestTraceSelf(t *testing.T) {
+	tp, _ := SingleSwitch(4)
+	r, _ := ComputeLFT(tp)
+	path, err := Trace(tp, r, 2, 2)
+	if err != nil || len(path) != 1 {
+		t.Fatalf("self trace = %v, %v", path, err)
+	}
+}
+
+func TestTraceDownPathUnique(t *testing.T) {
+	// From any spine, the route to a host must exit towards that host's
+	// leaf: property of folded-Clos down-routing.
+	tp, _ := FatTree(6)
+	r, _ := ComputeLFT(tp)
+	half := 3
+	numLeaves := 6
+	for s := 0; s < half; s++ {
+		spineID := NodeID(tp.NumHosts + numLeaves + s)
+		for d := 0; d < tp.NumHosts; d++ {
+			out := r.OutPort(spineID, ib.LID(d))
+			if out != d/half {
+				t.Fatalf("spine %d routes dst %d out port %d, want %d", s, d, out, d/half)
+			}
+		}
+	}
+}
+
+func TestComputeLFTDisconnected(t *testing.T) {
+	b := NewBuilder("t")
+	h0 := b.AddHost("h0")
+	h1 := b.AddHost("h1")
+	s0 := b.AddSwitch("s0", 2)
+	s1 := b.AddSwitch("s1", 2)
+	b.Connect(h0, 0, s0, 0)
+	b.Connect(h1, 0, s1, 0)
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeLFT(tp); err == nil {
+		t.Fatal("expected error for disconnected fabric")
+	}
+}

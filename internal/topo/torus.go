@@ -1,0 +1,210 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+)
+
+// The paper's conclusion leaves congestion control on tori and meshes as
+// an open question ("Regarding Tori or Meshes, the picture is more
+// unclear, thus this question should form the basis for further
+// research"). This file provides the substrate to explore it: 2D mesh
+// and torus topologies with dimension-order routing, and — for the torus,
+// whose wraparound rings create cyclic channel dependencies — a dateline
+// virtual-lane policy that keeps the network deadlock-free with two VLs.
+
+// Grid describes a 2D mesh or torus of switches with hosts attached.
+type Grid struct {
+	*Topology
+	// W, H are the grid dimensions; HostsPer the hosts per switch.
+	W, H, HostsPer int
+	// Wrap reports whether the grid has wraparound links (torus).
+	Wrap bool
+	// firstSwitch is the NodeID of switch (0,0); switches are laid out
+	// row-major after all hosts.
+	firstSwitch NodeID
+}
+
+// Grid switch port conventions, after the HostsPer host ports.
+const (
+	gridPlusX = iota
+	gridMinusX
+	gridPlusY
+	gridMinusY
+)
+
+// Mesh2D builds a w×h mesh (no wraparound) with hostsPer hosts per
+// switch. Dimension-order routing on a mesh is deadlock-free with a
+// single VL.
+func Mesh2D(w, h, hostsPer int) (*Grid, error) {
+	return buildGrid(w, h, hostsPer, false)
+}
+
+// Torus2D builds a w×h torus (wraparound in both dimensions). Use
+// TorusVLPolicy (and a fabric with 2 VLs) to break the ring channel
+// cycles.
+func Torus2D(w, h, hostsPer int) (*Grid, error) {
+	return buildGrid(w, h, hostsPer, true)
+}
+
+func buildGrid(w, h, hostsPer int, wrap bool) (*Grid, error) {
+	if w < 2 || h < 2 || hostsPer < 1 {
+		return nil, fmt.Errorf("topo: grid needs w,h >= 2 and hosts >= 1 (got %dx%dx%d)", w, h, hostsPer)
+	}
+	kind := "mesh"
+	if wrap {
+		kind = "torus"
+	}
+	b := NewBuilder(fmt.Sprintf("%s-%dx%dx%d", kind, w, h, hostsPer))
+
+	// Hosts first so LIDs are dense from zero: host LID = switch
+	// index * hostsPer + local index.
+	hosts := make([]NodeID, w*h*hostsPer)
+	for i := range hosts {
+		hosts[i] = b.AddHost(fmt.Sprintf("node%d", i))
+	}
+	sw := make([]NodeID, w*h)
+	for i := range sw {
+		sw[i] = b.AddSwitch(fmt.Sprintf("sw%d.%d", i%w, i/w), hostsPer+4)
+	}
+	at := func(x, y int) NodeID { return sw[y*w+x] }
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := at(x, y)
+			for hp := 0; hp < hostsPer; hp++ {
+				b.Connect(hosts[(y*w+x)*hostsPer+hp], 0, s, hp)
+			}
+			// +X link to the right neighbour (wrapping on a torus).
+			if x+1 < w {
+				b.Connect(s, hostsPer+gridPlusX, at(x+1, y), hostsPer+gridMinusX)
+			} else if wrap {
+				b.Connect(s, hostsPer+gridPlusX, at(0, y), hostsPer+gridMinusX)
+			}
+			// +Y link downward.
+			if y+1 < h {
+				b.Connect(s, hostsPer+gridPlusY, at(x, y+1), hostsPer+gridMinusY)
+			} else if wrap {
+				b.Connect(s, hostsPer+gridPlusY, at(x, 0), hostsPer+gridMinusY)
+			}
+		}
+	}
+	tp, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{Topology: tp, W: w, H: h, HostsPer: hostsPer, Wrap: wrap,
+		firstSwitch: hosts[len(hosts)-1] + 1}, nil
+}
+
+// SwitchAt returns the NodeID of the switch at grid position (x, y).
+func (g *Grid) SwitchAt(x, y int) NodeID {
+	return g.firstSwitch + NodeID(y*g.W+x)
+}
+
+// coordOf returns the grid position of a switch.
+func (g *Grid) coordOf(n NodeID) (x, y int) {
+	i := int(n - g.firstSwitch)
+	return i % g.W, i / g.W
+}
+
+// hostSwitch returns the grid position of the switch a host attaches to.
+func (g *Grid) hostSwitch(lid ib.LID) (x, y int) {
+	i := int(lid) / g.HostsPer
+	return i % g.W, i / g.W
+}
+
+// DOR computes dimension-order (X then Y) forwarding tables. On the
+// torus each dimension takes the shorter way around, breaking ties
+// towards the positive direction.
+func (g *Grid) DOR() *Routing {
+	r := &Routing{lft: make([][]int16, len(g.Nodes))}
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind != Switch {
+			continue
+		}
+		row := make([]int16, g.NumHosts)
+		x, y := g.coordOf(g.Nodes[i].ID)
+		for dst := 0; dst < g.NumHosts; dst++ {
+			tx, ty := g.hostSwitch(ib.LID(dst))
+			row[dst] = int16(g.dorPort(x, y, tx, ty, dst))
+		}
+		r.lft[i] = row
+	}
+	return r
+}
+
+// dorPort picks the output port at (x,y) towards host dst at (tx,ty).
+func (g *Grid) dorPort(x, y, tx, ty, dst int) int {
+	if x == tx && y == ty {
+		return dst % g.HostsPer
+	}
+	if x != tx {
+		return g.HostsPer + g.ringStep(x, tx, g.W, gridPlusX, gridMinusX)
+	}
+	return g.HostsPer + g.ringStep(y, ty, g.H, gridPlusY, gridMinusY)
+}
+
+// ringStep picks the direction along one dimension: on a mesh simply
+// towards the target, on a torus the shorter way around.
+func (g *Grid) ringStep(from, to, size, plus, minus int) int {
+	if !g.Wrap {
+		if to > from {
+			return plus
+		}
+		return minus
+	}
+	fwd := (to - from + size) % size
+	if fwd <= size-fwd {
+		return plus
+	}
+	return minus
+}
+
+// TorusVLPolicy returns a virtual-lane selection function implementing
+// dateline deadlock avoidance on the torus: a packet travels its current
+// ring on VL 0 until it crosses the wraparound link (the dateline),
+// continues on VL 1 for the rest of that ring, and drops back to VL 0
+// when it turns into the next dimension or exits to a host. Minimal
+// routing never crosses a dateline twice per ring, so neither VL carries
+// a channel cycle. The fabric must be configured with at least 2 VLs.
+func (g *Grid) TorusVLPolicy() func(sw int, inPort, outPort int, p *ib.Packet) ib.VL {
+	hp := g.HostsPer
+	dim := func(port int) int { // 0 = host, 1 = X, 2 = Y
+		switch {
+		case port < hp:
+			return 0
+		case port < hp+2:
+			return 1
+		default:
+			return 2
+		}
+	}
+	return func(sw int, inPort, outPort int, p *ib.Packet) ib.VL {
+		swNode := g.firstSwitch + NodeID(sw)
+		x, y := g.coordOf(swNode)
+		// Dateline crossings: the +X link out of the last column, the
+		// -X link out of column 0, and the Y equivalents.
+		crossing := false
+		switch outPort - hp {
+		case gridPlusX:
+			crossing = x == g.W-1
+		case gridMinusX:
+			crossing = x == 0
+		case gridPlusY:
+			crossing = y == g.H-1
+		case gridMinusY:
+			crossing = y == 0
+		}
+		if crossing {
+			return 1
+		}
+		// Staying in the same ring keeps the current VL; turning into
+		// a new dimension (or leaving a host port) restarts on VL 0.
+		if dim(outPort) == dim(inPort) && dim(inPort) != 0 {
+			return p.VL
+		}
+		return 0
+	}
+}

@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ib"
+)
+
+func TestGridShapes(t *testing.T) {
+	m, err := Mesh2D(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumHosts != 24 || m.NumSwitches() != 12 || m.Wrap {
+		t.Fatalf("mesh shape wrong: %d hosts %d switches", m.NumHosts, m.NumSwitches())
+	}
+	tor, err := Torus2D(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.NumHosts != 16 || tor.NumSwitches() != 16 || !tor.Wrap {
+		t.Fatal("torus shape wrong")
+	}
+	// Torus switches are fully wired: hosts + 4 ring ports.
+	for _, n := range tor.Nodes {
+		if n.Kind != Switch {
+			continue
+		}
+		for pi, p := range n.Ports {
+			if !p.Connected() {
+				t.Fatalf("torus switch %s port %d unconnected", n.Name, pi)
+			}
+		}
+	}
+	// Mesh borders leave ring ports open.
+	open := 0
+	for _, n := range m.Nodes {
+		if n.Kind != Switch {
+			continue
+		}
+		for _, p := range n.Ports {
+			if !p.Connected() {
+				open++
+			}
+		}
+	}
+	if open != 2*3+2*4 {
+		t.Fatalf("mesh open ports = %d, want 14", open)
+	}
+}
+
+func TestGridRejectsBadShape(t *testing.T) {
+	for _, c := range [][3]int{{1, 2, 1}, {2, 1, 1}, {2, 2, 0}} {
+		if _, err := Mesh2D(c[0], c[1], c[2]); err == nil {
+			t.Errorf("mesh %v accepted", c)
+		}
+		if _, err := Torus2D(c[0], c[1], c[2]); err == nil {
+			t.Errorf("torus %v accepted", c)
+		}
+	}
+}
+
+func TestSwitchAt(t *testing.T) {
+	g, _ := Torus2D(3, 3, 2)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			id := g.SwitchAt(x, y)
+			if g.Nodes[id].Kind != Switch {
+				t.Fatalf("SwitchAt(%d,%d) = %d is not a switch", x, y, id)
+			}
+			gx, gy := g.coordOf(id)
+			if gx != x || gy != y {
+				t.Fatalf("coord round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+			}
+		}
+	}
+}
+
+func TestDORRoutesReachMesh(t *testing.T) {
+	g, _ := Mesh2D(4, 3, 2)
+	r := g.DOR()
+	for s := 0; s < g.NumHosts; s++ {
+		for d := 0; d < g.NumHosts; d++ {
+			path, err := Trace(g.Topology, r, ib.LID(s), ib.LID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			// Minimality: switch hops = |dx| + |dy| + 1.
+			sx, sy := g.hostSwitch(ib.LID(s))
+			tx, ty := g.hostSwitch(ib.LID(d))
+			want := abs(sx-tx) + abs(sy-ty) + 1
+			sw := 0
+			for _, n := range path {
+				if g.Nodes[n].Kind == Switch {
+					sw++
+				}
+			}
+			if s != d && sw != want {
+				t.Fatalf("route %d->%d: %d switch hops, want %d", s, d, sw, want)
+			}
+		}
+	}
+}
+
+func TestDORRoutesReachTorus(t *testing.T) {
+	g, _ := Torus2D(4, 4, 1)
+	r := g.DOR()
+	for s := 0; s < g.NumHosts; s++ {
+		for d := 0; d < g.NumHosts; d++ {
+			path, err := Trace(g.Topology, r, ib.LID(s), ib.LID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			// Minimality with wraparound: ring distance per dimension.
+			sx, sy := g.hostSwitch(ib.LID(s))
+			tx, ty := g.hostSwitch(ib.LID(d))
+			want := ringDist(sx, tx, 4) + ringDist(sy, ty, 4) + 1
+			sw := 0
+			for _, n := range path {
+				if g.Nodes[n].Kind == Switch {
+					sw++
+				}
+			}
+			if s != d && sw != want {
+				t.Fatalf("route %d->%d: %d switch hops, want %d", s, d, sw, want)
+			}
+		}
+	}
+}
+
+func TestDORDimensionOrder(t *testing.T) {
+	// X must be fully resolved before Y moves: along any route the Y
+	// coordinate only changes after the X coordinate has reached the
+	// target column.
+	g, _ := Torus2D(5, 4, 1)
+	r := g.DOR()
+	f := func(sRaw, dRaw uint16) bool {
+		s := int(sRaw) % g.NumHosts
+		d := int(dRaw) % g.NumHosts
+		path, err := Trace(g.Topology, r, ib.LID(s), ib.LID(d))
+		if err != nil {
+			return false
+		}
+		tx, _ := g.hostSwitch(ib.LID(d))
+		movedY := false
+		var px int
+		first := true
+		for _, n := range path {
+			if g.Nodes[n].Kind != Switch {
+				continue
+			}
+			x, _ := g.coordOf(n)
+			if !first && x != px && movedY {
+				return false // X changed after Y started
+			}
+			if !first && x == px && x == tx {
+				movedY = true
+			}
+			px, first = x, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusVLPolicy(t *testing.T) {
+	g, _ := Torus2D(4, 4, 1)
+	policy := g.TorusVLPolicy()
+	hp := g.HostsPer
+	swIdx := func(x, y int) int { return int(g.SwitchAt(x, y) - g.firstSwitch) }
+	pkt := func(vl ib.VL) *ib.Packet { return &ib.Packet{VL: vl} }
+
+	// Crossing the +X wrap link from the last column: dateline, VL 1.
+	if got := policy(swIdx(3, 0), 0, hp+gridPlusX, pkt(0)); got != 1 {
+		t.Fatalf("+X dateline: VL %d", got)
+	}
+	// Crossing the -X wrap link from column 0: dateline, VL 1.
+	if got := policy(swIdx(0, 0), 0, hp+gridMinusX, pkt(0)); got != 1 {
+		t.Fatalf("-X dateline: VL %d", got)
+	}
+	// Continuing the same ring keeps VL 1.
+	if got := policy(swIdx(1, 0), hp+gridMinusX, hp+gridPlusX, pkt(1)); got != 1 {
+		t.Fatalf("same ring: VL %d", got)
+	}
+	// Turning into the Y dimension resets to VL 0.
+	if got := policy(swIdx(1, 1), hp+gridMinusX, hp+gridPlusY, pkt(1)); got != 0 {
+		t.Fatalf("dimension turn: VL %d", got)
+	}
+	// A fresh injection (host input) rides VL 0 on a non-wrap link.
+	if got := policy(swIdx(1, 1), 0, hp+gridPlusX, pkt(0)); got != 0 {
+		t.Fatalf("fresh injection: VL %d", got)
+	}
+	// Y dateline from the last row.
+	if got := policy(swIdx(2, 3), 0, hp+gridPlusY, pkt(0)); got != 1 {
+		t.Fatalf("+Y dateline: VL %d", got)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func ringDist(a, b, n int) int {
+	d := abs(a - b)
+	if n-d < d {
+		return n - d
+	}
+	return d
+}

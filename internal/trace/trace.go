@@ -1,0 +1,181 @@
+// Package trace records time series from a running simulation: any
+// float-valued probe sampled on a fixed grid, and rate probes that
+// differentiate cumulative byte counters into bit rates. The recorder
+// drives itself from simulator events, so it works with any model built
+// on internal/sim; WriteCSV emits the collected series for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Series is one recorded signal: len(Values) samples taken at
+// Start + (i+1)*Interval.
+type Series struct {
+	Name     string
+	Interval sim.Duration
+	Start    sim.Time
+	Values   []float64
+}
+
+// At returns the sample time of Values[i].
+func (s *Series) At(i int) sim.Time {
+	return s.Start.Add(sim.Duration(i+1) * s.Interval)
+}
+
+// Min, Max and Mean summarize the series; they return zeros for an
+// empty series.
+func (s *Series) Min() float64 { m, _, _ := s.stats(); return m }
+
+// Max returns the largest sample.
+func (s *Series) Max() float64 { _, m, _ := s.stats(); return m }
+
+// Mean returns the arithmetic mean of the samples.
+func (s *Series) Mean() float64 { _, _, m := s.stats(); return m }
+
+func (s *Series) stats() (min, max, mean float64) {
+	if len(s.Values) == 0 {
+		return 0, 0, 0
+	}
+	min, max = s.Values[0], s.Values[0]
+	var sum float64
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(s.Values))
+}
+
+// probe is one registered signal source.
+type probe struct {
+	series *Series
+	sample func() float64
+}
+
+// Recorder samples registered probes on a fixed interval.
+type Recorder struct {
+	simr     *sim.Simulator
+	interval sim.Duration
+	probes   []probe
+	running  bool
+}
+
+// NewRecorder creates a recorder sampling every interval on simr.
+func NewRecorder(simr *sim.Simulator, interval sim.Duration) *Recorder {
+	if interval <= 0 {
+		panic("trace: non-positive sampling interval")
+	}
+	return &Recorder{simr: simr, interval: interval}
+}
+
+// Probe registers a gauge: fn is called at every sample point and its
+// value recorded. Registration must happen before Start.
+func (r *Recorder) Probe(name string, fn func() float64) *Series {
+	if r.running {
+		panic("trace: probe added after Start")
+	}
+	s := &Series{Name: name, Interval: r.interval, Start: r.simr.Now()}
+	r.probes = append(r.probes, probe{series: s, sample: fn})
+	return s
+}
+
+// RateProbe registers a rate signal derived from a cumulative byte
+// counter: each sample is the increase since the previous sample,
+// converted to bits per second.
+func (r *Recorder) RateProbe(name string, counter func() uint64) *Series {
+	prev := counter()
+	secs := r.interval.Seconds()
+	return r.Probe(name, func() float64 {
+		cur := counter()
+		delta := float64(cur-prev) * 8 / secs
+		prev = cur
+		return delta
+	})
+}
+
+// Start schedules sampling until the given time (inclusive of the last
+// grid point not after it).
+func (r *Recorder) Start(until sim.Time) {
+	if r.running {
+		panic("trace: started twice")
+	}
+	r.running = true
+	var tick func()
+	tick = func() {
+		for _, p := range r.probes {
+			p.series.Values = append(p.series.Values, p.sample())
+		}
+		if r.simr.Now().Add(r.interval) <= until {
+			r.simr.Schedule(r.interval, tick)
+		}
+	}
+	if r.simr.Now().Add(r.interval) <= until {
+		r.simr.Schedule(r.interval, tick)
+	}
+}
+
+// Series returns every registered series in registration order.
+func (r *Recorder) Series() []*Series {
+	out := make([]*Series, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.series
+	}
+	return out
+}
+
+// WriteCSV writes all series as one table: a time column in seconds
+// followed by one column per series. Series are aligned on their common
+// sampling grid; shorter series pad with empty cells.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	series := r.Series()
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series recorded")
+	}
+	if _, err := io.WriteString(w, "time_s"); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, s := range series {
+		if _, err := io.WriteString(w, ","+csvEscape(s.Name)); err != nil {
+			return err
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := strconv.FormatFloat(series[0].At(i).Seconds(), 'g', 10, 64)
+		for _, s := range series {
+			row += ","
+			if i < len(s.Values) {
+				row += strconv.FormatFloat(s.Values[i], 'g', 8, 64)
+			}
+		}
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field when it contains separators.
+func csvEscape(s string) string {
+	for _, c := range s {
+		if c == ',' || c == '"' || c == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestProbeSampling(t *testing.T) {
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Microsecond)
+	n := 0.0
+	s := rec.Probe("count", func() float64 { n++; return n })
+	rec.Start(sim.Time(10 * sim.Microsecond))
+	simr.Run()
+	if len(s.Values) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s.Values))
+	}
+	for i, v := range s.Values {
+		if v != float64(i+1) {
+			t.Fatalf("sample %d = %v", i, v)
+		}
+	}
+	if s.At(0) != sim.Time(sim.Microsecond) || s.At(9) != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("sample times wrong: %v %v", s.At(0), s.At(9))
+	}
+}
+
+func TestRateProbe(t *testing.T) {
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Millisecond)
+	var counter uint64
+	s := rec.RateProbe("rate", func() uint64 { return counter })
+	// 1000 bytes per millisecond = 8 Mbit/s.
+	for i := 1; i <= 5; i++ {
+		simr.ScheduleAt(sim.Time(i)*sim.Time(sim.Millisecond)-1, func() { counter += 1000 })
+	}
+	rec.Start(sim.Time(5 * sim.Millisecond))
+	simr.Run()
+	if len(s.Values) != 5 {
+		t.Fatalf("samples = %d", len(s.Values))
+	}
+	for i, v := range s.Values {
+		if math.Abs(v-8e6) > 1 {
+			t.Fatalf("sample %d = %v, want 8e6", i, v)
+		}
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Values: []float64{3, 1, 2}}
+	if s.Min() != 1 || s.Max() != 3 || s.Mean() != 2 {
+		t.Fatalf("stats = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+	empty := &Series{}
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Microsecond)
+	rec.Probe("a", func() float64 { return 1.5 })
+	rec.Probe("b,quoted", func() float64 { return 2 })
+	rec.Start(sim.Time(3 * sim.Microsecond))
+	simr.Run()
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != `time_s,a,"b,quoted"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.5") || !strings.Contains(lines[1], ",2") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	rec := NewRecorder(sim.New(), sim.Microsecond)
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err == nil {
+		t.Fatal("expected error with no series")
+	}
+}
+
+func TestRecorderGuards(t *testing.T) {
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Microsecond)
+	rec.Probe("a", func() float64 { return 0 })
+	rec.Start(sim.Time(sim.Microsecond))
+	mustPanic(t, func() { rec.Probe("late", func() float64 { return 0 }) })
+	mustPanic(t, func() { rec.Start(sim.Time(sim.Microsecond)) })
+	mustPanic(t, func() { NewRecorder(simr, 0) })
+}
+
+func TestStartBeyondHorizonSamplesNothing(t *testing.T) {
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Millisecond)
+	s := rec.Probe("a", func() float64 { return 1 })
+	rec.Start(sim.Time(100 * sim.Microsecond)) // shorter than one interval
+	simr.Run()
+	if len(s.Values) != 0 {
+		t.Fatalf("samples = %d", len(s.Values))
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

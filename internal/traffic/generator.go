@@ -1,0 +1,346 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Throttle is the congestion-control injection-rate-delay oracle; the CC
+// manager implements it. A nil Throttle means CC is off.
+type Throttle interface {
+	// IRD returns the delay to insert after a packet of the given wire
+	// size on flow src→dst.
+	IRD(src, dst ib.LID, wireBytes int) sim.Duration
+}
+
+// NodeConfig parameterizes one node's generator.
+type NodeConfig struct {
+	// LID is the sending node.
+	LID ib.LID
+	// NumNodes is the network size; uniform destinations are drawn from
+	// [0, NumNodes) excluding LID.
+	NumNodes int
+	// PPercent is the hotspot share p of the offered load, 0–100.
+	PPercent int
+	// Hotspot supplies the hotspot destination; required when
+	// PPercent > 0.
+	Hotspot Targeter
+	// InjectionRate is the node's total offered load (the paper's
+	// nodes offer 13.5 Gbit/s, their maximum injection capacity).
+	InjectionRate sim.Rate
+	// MsgBytes is the application message size (default 4096 = two MTU
+	// packets, as in all the paper's experiments).
+	MsgBytes int
+	// BacklogCap bounds, per stream, how many messages may sit in the
+	// flow queues awaiting injection (default 8). It models the finite
+	// set of outstanding work requests of a real HCA: enough to keep
+	// unthrottled flows busy, small enough that a throttled flow's
+	// backlog cannot grow without bound.
+	BacklogCap int
+	// Throttle applies CC injection delays; nil disables throttling.
+	Throttle Throttle
+	// SLThrottle applies the CC delay to the whole service level: one
+	// shared injection gate spaces consecutive packets of the node
+	// regardless of flow, modeling CC operating at the SL level
+	// (paired with cc.Params.SLLevel). The default is per-QP gating.
+	SLThrottle bool
+	// HotspotVL carries the hotspot stream on this virtual lane
+	// (uniform traffic stays on VL 0), modeling the set-aside-queue
+	// family of congestion management the paper's introduction
+	// contrasts with throttling: victim flows bypass the congestion
+	// tree on their own lane while its root cause persists. The fabric
+	// must be configured with enough VLs.
+	HotspotVL ib.VL
+	// RNG drives destination choice; required.
+	RNG *sim.RNG
+}
+
+// stream is one of the node's two independently paced traffic classes.
+type stream struct {
+	rate      sim.Rate // budget accrual rate
+	hotspot   bool
+	generated int64 // bytes handed to flow queues since t=0
+	backlog   int   // messages currently queued awaiting injection
+}
+
+// flow carries per-destination (QP) state: the queue of packets awaiting
+// injection and the CC-imposed earliest next injection time.
+type flow struct {
+	dst         ib.LID
+	q           []*ib.Packet
+	nextAllowed sim.Time
+}
+
+// Generator implements fabric.Source for one node. It owns per-flow (QP)
+// queues and schedules among them: a packet is eligible when its flow's
+// CC delay has elapsed; eligible flows are served round-robin. The two
+// streams refill the queues under their cumulative budgets, so hotspot
+// and non-hotspot traffic stay independent per Frame I.
+type Generator struct {
+	cfg     NodeConfig
+	streams []*stream
+	flows   map[ib.LID]*flow
+	active  []*flow // flows with queued packets, round-robin order
+	rr      int
+
+	// slGate is the shared next-injection time under SLThrottle.
+	slGate sim.Time
+
+	nextMsgID uint64
+	pktSeq    uint64
+}
+
+// NewGenerator validates cfg and builds the node's generator.
+func NewGenerator(cfg NodeConfig) (*Generator, error) {
+	if cfg.NumNodes < 2 {
+		return nil, fmt.Errorf("traffic: need >= 2 nodes")
+	}
+	if cfg.PPercent < 0 || cfg.PPercent > 100 {
+		return nil, fmt.Errorf("traffic: p = %d out of [0,100]", cfg.PPercent)
+	}
+	if cfg.PPercent > 0 && cfg.Hotspot == nil {
+		return nil, fmt.Errorf("traffic: p > 0 requires a hotspot targeter")
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("traffic: RNG required")
+	}
+	if cfg.InjectionRate <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive injection rate")
+	}
+	if cfg.MsgBytes == 0 {
+		cfg.MsgBytes = ib.MessageBytes
+	}
+	if cfg.MsgBytes < 1 || cfg.MsgBytes > 64*ib.MTU {
+		return nil, fmt.Errorf("traffic: message size %d out of range", cfg.MsgBytes)
+	}
+	if cfg.BacklogCap == 0 {
+		cfg.BacklogCap = 8
+	}
+	if cfg.BacklogCap < 1 {
+		return nil, fmt.Errorf("traffic: backlog cap must be positive")
+	}
+	g := &Generator{cfg: cfg, flows: make(map[ib.LID]*flow)}
+	if cfg.PPercent > 0 {
+		g.streams = append(g.streams, &stream{
+			rate:    cfg.InjectionRate * sim.Rate(cfg.PPercent) / 100,
+			hotspot: true,
+		})
+	}
+	if cfg.PPercent < 100 {
+		g.streams = append(g.streams, &stream{
+			rate: cfg.InjectionRate * sim.Rate(100-cfg.PPercent) / 100,
+		})
+	}
+	return g, nil
+}
+
+// GeneratedBytes returns the bytes each stream has handed to the flow
+// queues (hotspot stream first when present); tests use it to verify the
+// Frame I budget invariant.
+func (g *Generator) GeneratedBytes() (hotspot, uniform int64) {
+	for _, s := range g.streams {
+		if s.hotspot {
+			hotspot = s.generated
+		} else {
+			uniform = s.generated
+		}
+	}
+	return
+}
+
+// Pull implements fabric.Source.
+func (g *Generator) Pull(now sim.Time) (*ib.Packet, sim.Time) {
+	g.refill(now)
+
+	// Round-robin over flows with queued packets whose CC delay has
+	// elapsed. The active list is small: it holds at most the flows
+	// with a queued backlog (bounded by the backlog caps).
+	n := len(g.active)
+	if n > 0 {
+		g.rr %= n
+	}
+	for i := 0; i < n; i++ {
+		k := (g.rr + i) % n
+		fl := g.active[k]
+		if len(fl.q) == 0 {
+			// Lazily drop drained flows from the active list.
+			g.active[k] = g.active[n-1]
+			g.active = g.active[:n-1]
+			n--
+			i--
+			if g.rr >= n && n > 0 {
+				g.rr = 0
+			}
+			continue
+		}
+		if g.gate(fl).After(now) {
+			continue
+		}
+		p := fl.q[0]
+		copy(fl.q, fl.q[1:])
+		fl.q[len(fl.q)-1] = nil
+		fl.q = fl.q[:len(fl.q)-1]
+		g.rr = k + 1
+		if g.rr >= len(g.active) {
+			g.rr = 0
+		}
+		// A message leaves the backlog when its last packet goes.
+		if int(p.MsgSeq) == int(p.MsgPackets)-1 {
+			g.streamOf(p).backlog--
+		}
+		delay := g.cfg.InjectionRate.TxTime(p.WireBytes())
+		if g.cfg.Throttle != nil {
+			delay += g.cfg.Throttle.IRD(g.cfg.LID, fl.dst, p.WireBytes())
+		}
+		if g.cfg.SLThrottle {
+			g.slGate = now.Add(delay)
+		} else {
+			fl.nextAllowed = now.Add(delay)
+		}
+		return p, 0
+	}
+
+	return nil, g.nextWake(now)
+}
+
+// gate returns the earliest injection time applying to fl: the shared
+// service-level gate under SLThrottle, the flow's own otherwise.
+func (g *Generator) gate(fl *flow) sim.Time {
+	if g.cfg.SLThrottle {
+		return g.slGate
+	}
+	return fl.nextAllowed
+}
+
+// streamOf maps a packet back to the stream that generated it.
+func (g *Generator) streamOf(p *ib.Packet) *stream {
+	for _, s := range g.streams {
+		if s.hotspot == p.Hotspot {
+			return s
+		}
+	}
+	panic("traffic: packet from unknown stream")
+}
+
+// refill lets each stream generate messages its cumulative budget and
+// backlog cap allow at the current time.
+func (g *Generator) refill(now sim.Time) {
+	for _, s := range g.streams {
+		for s.backlog < g.cfg.BacklogCap && s.generated <= s.rate.BytesIn(now.Sub(0)) {
+			if !g.generate(s, now) {
+				break
+			}
+		}
+	}
+}
+
+// generate creates one message on stream s and queues its packets on the
+// destination's flow. It reports false when no destination is available
+// (the hotspot targeter pointed at the node itself).
+func (g *Generator) generate(s *stream, now sim.Time) bool {
+	var dst ib.LID
+	if s.hotspot {
+		dst = g.cfg.Hotspot.Target(now)
+		if dst == g.cfg.LID {
+			// A node cannot be its own hotspot; it stays idle for
+			// this slot (the budget keeps accruing).
+			return false
+		}
+	} else {
+		r := g.cfg.RNG.Intn(g.cfg.NumNodes - 1)
+		if r >= int(g.cfg.LID) {
+			r++
+		}
+		dst = ib.LID(r)
+	}
+	fl := g.flows[dst]
+	if fl == nil {
+		fl = &flow{dst: dst}
+		g.flows[dst] = fl
+	}
+	if len(fl.q) == 0 {
+		g.active = append(g.active, fl)
+	}
+	msgID := g.nextMsgID
+	g.nextMsgID++
+	remaining := g.cfg.MsgBytes
+	var nPkts uint8
+	for remaining > 0 {
+		nPkts++
+		remaining -= min(remaining, ib.MTU)
+	}
+	var vl ib.VL
+	if s.hotspot {
+		vl = g.cfg.HotspotVL
+	}
+	remaining = g.cfg.MsgBytes
+	for seq := uint8(0); seq < nPkts; seq++ {
+		size := min(remaining, ib.MTU)
+		remaining -= size
+		fl.q = append(fl.q, &ib.Packet{
+			ID:           g.pktSeq,
+			Type:         ib.DataPacket,
+			Src:          g.cfg.LID,
+			Dst:          dst,
+			VL:           vl,
+			SL:           ib.SL(vl),
+			PayloadBytes: size,
+			Hotspot:      s.hotspot,
+			MsgID:        msgID,
+			MsgSeq:       seq,
+			MsgPackets:   nPkts,
+		})
+		g.pktSeq++
+	}
+	s.generated += int64(g.cfg.MsgBytes)
+	s.backlog++
+	return true
+}
+
+// nextWake computes the earliest future instant anything can become
+// eligible: a queued flow's CC delay expiring, a stream's budget
+// allowing its next message, or a moving hotspot slot boundary freeing a
+// self-targeted stream.
+func (g *Generator) nextWake(now sim.Time) sim.Time {
+	wake := sim.MaxTime
+	for _, fl := range g.active {
+		if t := g.gate(fl); len(fl.q) > 0 && t.After(now) && t.Before(wake) {
+			wake = t
+		}
+	}
+	for _, s := range g.streams {
+		if s.backlog >= g.cfg.BacklogCap {
+			continue // replenished by a later Pull draining the queue
+		}
+		t := sim.Time(0).Add(s.rate.TxTime(int(s.generated)))
+		if !t.After(now) {
+			if s.generated <= s.rate.BytesIn(now.Sub(0)) {
+				// Budget is available now but generate() declined —
+				// the hotspot points at this node; retry at the slot
+				// change (a static self-target never clears).
+				if mt, ok := g.cfg.Hotspot.(*MovingTarget); ok && s.hotspot {
+					t = mt.SlotEnd(now)
+				} else {
+					continue
+				}
+			} else {
+				// TxTime rounding placed the crossing a hair before
+				// the true budget boundary; nudge past it.
+				t = now.Add(sim.Picosecond)
+			}
+		}
+		if t.Before(wake) {
+			wake = t
+		}
+	}
+	return wake
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

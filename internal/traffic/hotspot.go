@@ -1,0 +1,71 @@
+// Package traffic implements the study's workload generators. Every end
+// node is a generalized B node that directs p% of its offered load at a
+// hotspot and the remaining (1−p)% at uniformly random destinations; the
+// paper's C nodes are p=100 and its V nodes p=0. Generation follows
+// Frame I of the paper: the hotspot and non-hotspot streams are paced by
+// independent cumulative budgets tied to simulation time (never to each
+// other), so neither stream can exceed its fraction of the offered load
+// and non-hotspot traffic is never head-of-line blocked inside the
+// generator when hotspot traffic is throttled.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Targeter yields the hotspot destination a node's hotspot stream aims
+// at, as a function of time. Implementations must be deterministic.
+type Targeter interface {
+	// Target returns the hotspot LID at the given instant.
+	Target(now sim.Time) ib.LID
+}
+
+// StaticTarget is a fixed hotspot (silent and windy forests).
+type StaticTarget ib.LID
+
+// Target implements Targeter.
+func (s StaticTarget) Target(sim.Time) ib.LID { return ib.LID(s) }
+
+// MovingTarget cycles through a precomputed sequence of hotspots, one
+// per lifetime slot — the moving congestion trees of section III-C. All
+// members of a contributor subset share one MovingTarget so they change
+// focus simultaneously at each slot boundary.
+type MovingTarget struct {
+	// Lifetime is the duration of each hotspot.
+	Lifetime sim.Duration
+	// Seq is the hotspot for each consecutive slot, cycled when the
+	// simulation outlives it.
+	Seq []ib.LID
+}
+
+// NewMovingTarget draws a hotspot sequence of the given length uniformly
+// at random over the nodes of the network.
+func NewMovingTarget(lifetime sim.Duration, slots, numNodes int, rng *sim.RNG) *MovingTarget {
+	if slots < 1 || lifetime <= 0 {
+		panic("traffic: moving target needs slots >= 1 and positive lifetime")
+	}
+	seq := make([]ib.LID, slots)
+	for i := range seq {
+		seq[i] = ib.LID(rng.Intn(numNodes))
+	}
+	return &MovingTarget{Lifetime: lifetime, Seq: seq}
+}
+
+// Target implements Targeter.
+func (m *MovingTarget) Target(now sim.Time) ib.LID {
+	slot := int(int64(now) / int64(m.Lifetime))
+	return m.Seq[slot%len(m.Seq)]
+}
+
+// SlotEnd returns when the hotspot active at now expires.
+func (m *MovingTarget) SlotEnd(now sim.Time) sim.Time {
+	slot := int64(now)/int64(m.Lifetime) + 1
+	return sim.Time(slot * int64(m.Lifetime))
+}
+
+func (m *MovingTarget) String() string {
+	return fmt.Sprintf("moving(%v x%d)", m.Lifetime, len(m.Seq))
+}
