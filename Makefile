@@ -1,0 +1,32 @@
+# Tier-1 verification gate. `make check` is what CI and pre-merge runs:
+# vet + build + the full test suite under the race detector, so the
+# experiment harness's concurrency (internal/par, internal/exp, the
+# parallel sweep drivers) is race-checked on every change.
+
+GO ?= go
+
+.PHONY: check vet build test race bench paperbench clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Quick end-to-end smoke: one figure, parallel, with artifacts.
+paperbench:
+	$(GO) run ./cmd/paperbench -radix 12 -exp fig5 -jobs 0 -out /tmp/ibcc-artifacts
+
+clean:
+	$(GO) clean ./...

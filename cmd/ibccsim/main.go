@@ -4,6 +4,15 @@
 //	ibccsim -radix 18 -fracb 100 -p 60 -cc=true
 //	ibccsim -radix 12 -lifetime 1ms              # moving hotspots
 //	ibccsim -radix 36 -warmup 10ms -measure 50ms # paper scale (slow)
+//	ibccsim -seeds 8 -jobs 4                     # 8 seeds over 4 workers
+//	ibccsim -out results/                        # save a JSON artifact
+//
+// With -seeds N > 1 the scenario runs once per seed (seed, seed+1, ...)
+// fanned out over -jobs workers, and the mean rates with 95% confidence
+// intervals are reported; the aggregates are bit-identical for any
+// worker count. With -out every run's result is persisted as a
+// fingerprint-keyed JSON artifact, and multi-seed runs resume from
+// matching artifacts.
 package main
 
 import (
@@ -11,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	ibcc "repro"
@@ -34,6 +44,9 @@ func main() {
 		quiet    = flag.Bool("q", false, "print only the summary line")
 		traceCSV = flag.String("trace", "", "write a time-series CSV (rates, CC activity) to this file")
 		traceInt = flag.Duration("traceint", 100*time.Microsecond, "trace sampling interval")
+		numSeeds = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report mean ±95% CI")
+		jobs     = flag.Int("jobs", 1, "simulation workers for -seeds > 1 (0 = one per CPU)")
+		out      = flag.String("out", "", "artifact directory: persist results as JSON (and resume -seeds runs)")
 	)
 	flag.Parse()
 
@@ -48,6 +61,19 @@ func main() {
 	s.Warmup = ibcc.Duration(warmup.Nanoseconds()) * ibcc.Nanosecond
 	s.Measure = ibcc.Duration(measure.Nanoseconds()) * ibcc.Nanosecond
 
+	var store *ibcc.ArtifactStore
+	if *out != "" {
+		var err error
+		if store, err = ibcc.NewArtifactStore(*out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *numSeeds > 1 {
+		runSeeds(s, *numSeeds, *jobs, store, *quiet)
+		return
+	}
+
 	start := time.Now()
 	inst, err := ibcc.Build(s)
 	if err != nil {
@@ -59,6 +85,14 @@ func main() {
 	}
 	res := inst.Execute()
 	elapsed := time.Since(start)
+
+	if store != nil {
+		if err := store.Save(ibcc.Job{Name: s.Name, Scenario: s}, res, elapsed); err != nil {
+			log.Print(err)
+		} else if !*quiet {
+			fmt.Printf("artifact : %s/%s.json\n", store.Dir(), ibcc.ScenarioFingerprint(s)[:16])
+		}
+	}
 
 	if rec != nil {
 		f, err := os.Create(*traceCSV)
@@ -102,4 +136,40 @@ func main() {
 	fmt.Printf("engine   : %d events in %v (%.1fM events/s)\n",
 		res.Events, elapsed.Round(time.Millisecond),
 		float64(res.Events)/elapsed.Seconds()/1e6)
+}
+
+// runSeeds executes the scenario over n consecutive seeds on a worker
+// pool and reports the aggregated rates.
+func runSeeds(s ibcc.Scenario, n, jobs int, store *ibcc.ArtifactStore, quiet bool) {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = s.Seed + uint64(i)
+	}
+	opts := ibcc.RunOpts{Workers: jobs}
+	if jobs <= 0 {
+		opts.Workers = ibcc.WorkersAll
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if store != nil {
+		opts.Lookup = store.Lookup
+		opts.OnResult = store.SaveResult(func(err error) { log.Print(err) })
+	}
+	start := time.Now()
+	m, err := ibcc.RunSeedsOpts(s, seeds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	label := fmt.Sprintf("%s, seeds %d..%d", s.Name, seeds[0], seeds[n-1])
+	m.Print(os.Stdout, label)
+	if quiet {
+		return
+	}
+	events := uint64(m.Events.Mean() * float64(m.Events.N()))
+	fmt.Printf("engine   : %d runs, %d workers, ~%d events in %v (%.1fM events/s)\n",
+		n, jobs, events, elapsed.Round(time.Millisecond),
+		float64(events)/elapsed.Seconds()/1e6)
 }

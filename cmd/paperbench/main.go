@@ -5,6 +5,15 @@
 //	paperbench                      # every experiment at radix 18
 //	paperbench -exp fig8            # one experiment
 //	paperbench -radix 36 -full      # paper scale and windows (slow)
+//	paperbench -jobs 8              # fan simulations over 8 workers
+//	paperbench -out results/        # persist + resume via JSON artifacts
+//
+// Independent simulations fan out across -jobs workers (0 = one per
+// CPU); the experiment harness guarantees the printed tables and
+// figures are bit-identical to a serial (-jobs 1) run. With -out, every
+// simulation's result is persisted as a JSON artifact keyed by scenario
+// fingerprint, and a re-run loads matching artifacts instead of
+// simulating again.
 //
 // At reduced radix the hotspot lifetimes of figures 9–10 are scaled by
 // (radix/36)^2 so the ratio of lifetime to congestion-tree timescale is
@@ -22,17 +31,28 @@ import (
 	ibcc "repro"
 )
 
+// tally accumulates one experiment's execution counters via the
+// harness's OnResult hook.
+type tally struct {
+	sims   int
+	events uint64
+	cached int
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 
 	var (
-		exp   = flag.String("exp", "all", "experiment: table2, fig5, fig6, fig7, fig8, fig9, fig10, all")
-		radix = flag.Int("radix", 18, "fat-tree crossbar radix (36 = paper scale)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		full  = flag.Bool("full", false, "paper-scale windows: 20 ms warmup, 100 ms measure, unscaled lifetimes")
-		pstep = flag.Int("pstep", 10, "p sweep step for figures 5-8")
-		seeds = flag.Int("seeds", 1, "seeds per Table II configuration (>1 adds confidence intervals)")
+		exp      = flag.String("exp", "all", "experiment: table2, fig5, fig6, fig7, fig8, fig9, fig10, all")
+		radix    = flag.Int("radix", 18, "fat-tree crossbar radix (36 = paper scale)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		full     = flag.Bool("full", false, "paper-scale windows: 20 ms warmup, 100 ms measure, unscaled lifetimes")
+		pstep    = flag.Int("pstep", 10, "p sweep step for figures 5-8")
+		seeds    = flag.Int("seeds", 1, "seeds per Table II configuration (>1 adds confidence intervals)")
+		jobs     = flag.Int("jobs", 1, "simulation workers (0 = one per CPU)")
+		out      = flag.String("out", "", "artifact directory: persist every result as JSON and resume from it")
+		progress = flag.Bool("progress", stderrIsTTY(), "live progress line on stderr")
 	)
 	flag.Parse()
 
@@ -45,6 +65,68 @@ func main() {
 		ltScale = 1
 	}
 
+	workers := *jobs
+	if workers <= 0 {
+		workers = ibcc.WorkersAll
+	}
+	var store *ibcc.ArtifactStore
+	if *out != "" {
+		var err error
+		if store, err = ibcc.NewArtifactStore(*out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// experiment runs one experiment's sweeps through the harness with
+	// shared worker/artifact options, then reports its cost: the
+	// simulated-event total comes from the OnResult hook the drivers
+	// invoke per completed run.
+	experiment := func(name string, totalSims int, fn func(o ibcc.RunOpts) error) {
+		tl := &tally{}
+		var prog *ibcc.Progress
+		o := ibcc.RunOpts{Workers: workers}
+		if store != nil {
+			o.Lookup = store.Lookup
+		}
+		save := func(ibcc.Scenario, *ibcc.Result, bool) {}
+		if store != nil {
+			save = store.SaveResult(func(err error) { log.Print(err) })
+		}
+		if *progress {
+			prog = ibcc.NewProgress(os.Stderr, totalSims)
+		}
+		o.OnResult = func(s ibcc.Scenario, r *ibcc.Result, cached bool) {
+			save(s, r, cached)
+			tl.sims++
+			tl.events += r.Events
+			if cached {
+				tl.cached++
+			}
+			if prog != nil {
+				prog.Observe(r.Events, cached)
+			}
+		}
+		start := time.Now()
+		err := fn(o)
+		if prog != nil {
+			prog.Finish()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		line := fmt.Sprintf("experiment %s: %d sims, %d simulated events, %v wall",
+			name, tl.sims, tl.events, wall.Round(time.Millisecond))
+		if secs := wall.Seconds(); secs > 0 && tl.events > 0 {
+			line += fmt.Sprintf(" (%.1fM events/s)", float64(tl.events)/secs/1e6)
+		}
+		if tl.cached > 0 {
+			line += fmt.Sprintf(", %d from artifacts", tl.cached)
+		}
+		fmt.Println(line)
+		fmt.Println()
+	}
+
 	var ps []int
 	for p := 0; p <= 100; p += *pstep {
 		ps = append(ps, p)
@@ -54,28 +136,35 @@ func main() {
 	start := time.Now()
 
 	if want("table2") {
-		tab, err := ibcc.RunTableII(base)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tab.Print(os.Stdout)
-		fmt.Println()
+		total := 4
 		if *seeds > 1 {
-			for _, ccOn := range []bool{false, true} {
-				s := base
-				s.CCOn = ccOn
-				m, err := ibcc.RunSeeds(s, ibcc.Seeds(*seeds))
-				if err != nil {
-					log.Fatal(err)
-				}
-				label := "Table II hotspot scenario, CC off"
-				if ccOn {
-					label = "Table II hotspot scenario, CC on"
-				}
-				m.Print(os.Stdout, label)
-			}
-			fmt.Println()
+			total += 2 * *seeds
 		}
+		experiment("table2", total, func(o ibcc.RunOpts) error {
+			tab, err := ibcc.RunTableIIOpts(base, o)
+			if err != nil {
+				return err
+			}
+			tab.Print(os.Stdout)
+			fmt.Println()
+			if *seeds > 1 {
+				for _, ccOn := range []bool{false, true} {
+					s := base
+					s.CCOn = ccOn
+					m, err := ibcc.RunSeedsOpts(s, ibcc.Seeds(*seeds), o)
+					if err != nil {
+						return err
+					}
+					label := "Table II hotspot scenario, CC off"
+					if ccOn {
+						label = "Table II hotspot scenario, CC on"
+					}
+					m.Print(os.Stdout, label)
+				}
+				fmt.Println()
+			}
+			return nil
+		})
 	}
 
 	windy := []struct {
@@ -86,47 +175,63 @@ func main() {
 		if !want("fig" + wf.fig) {
 			continue
 		}
-		pts, err := ibcc.RunWindySweep(base, wf.fracB, ps)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ibcc.PrintWindy(os.Stdout, wf.fig, wf.fracB, pts)
-		fmt.Println()
+		experiment("fig"+wf.fig, 2*len(ps), func(o ibcc.RunOpts) error {
+			pts, err := ibcc.RunWindySweepOpts(base, wf.fracB, ps, o)
+			if err != nil {
+				return err
+			}
+			ibcc.PrintWindy(os.Stdout, wf.fig, wf.fracB, pts)
+			fmt.Println()
+			return nil
+		})
 	}
 
 	lifetimes := ibcc.PaperLifetimes(ltScale)
 	if want("fig9") {
-		for _, mix := range []struct {
-			label string
-			fracC int
-		}{{"9(a) 20% V / 80% C", 80}, {"9(b) 60% V / 40% C", 40}} {
-			s := base
-			s.FracBPct = 0
-			s.FracCOfRestPct = mix.fracC
-			pts, err := ibcc.RunMovingSweep(s, lifetimes)
-			if err != nil {
-				log.Fatal(err)
+		experiment("fig9", 2*2*len(lifetimes), func(o ibcc.RunOpts) error {
+			for _, mix := range []struct {
+				label string
+				fracC int
+			}{{"9(a) 20% V / 80% C", 80}, {"9(b) 60% V / 40% C", 40}} {
+				s := base
+				s.FracBPct = 0
+				s.FracCOfRestPct = mix.fracC
+				pts, err := ibcc.RunMovingSweepOpts(s, lifetimes, o)
+				if err != nil {
+					return err
+				}
+				fig, label, _ := strings.Cut(mix.label, " ")
+				ibcc.PrintMoving(os.Stdout, fig, label+" (lifetimes x"+fmt.Sprintf("%.3f", ltScale)+")", pts)
+				fmt.Println()
 			}
-			fig, label, _ := strings.Cut(mix.label, " ")
-			ibcc.PrintMoving(os.Stdout, fig, label+" (lifetimes x"+fmt.Sprintf("%.3f", ltScale)+")", pts)
-			fmt.Println()
-		}
+			return nil
+		})
 	}
 
 	if want("fig10") {
-		for _, p := range []int{30, 60, 90} {
-			s := base
-			s.FracBPct = 100
-			s.PPercent = p
-			pts, err := ibcc.RunMovingSweep(s, lifetimes)
-			if err != nil {
-				log.Fatal(err)
+		experiment("fig10", 3*2*len(lifetimes), func(o ibcc.RunOpts) error {
+			for _, p := range []int{30, 60, 90} {
+				s := base
+				s.FracBPct = 100
+				s.PPercent = p
+				pts, err := ibcc.RunMovingSweepOpts(s, lifetimes, o)
+				if err != nil {
+					return err
+				}
+				label := fmt.Sprintf("100%% B nodes, p=%d (lifetimes x%.3f)", p, ltScale)
+				ibcc.PrintMoving(os.Stdout, fmt.Sprintf("10 p=%d", p), label, pts)
+				fmt.Println()
 			}
-			label := fmt.Sprintf("100%% B nodes, p=%d (lifetimes x%.3f)", p, ltScale)
-			ibcc.PrintMoving(os.Stdout, fmt.Sprintf("10 p=%d", p), label, pts)
-			fmt.Println()
-		}
+			return nil
+		})
 	}
 
 	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// stderrIsTTY reports whether stderr is a character device, gating the
+// default for the live progress line.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -8,6 +8,12 @@
 //	paramscan                          # all scans at radix 12
 //	paramscan -scan threshold -radix 18
 //	paramscan -scan timer -fracb 100 -p 60
+//	paramscan -jobs 8 -out results/    # parallel workers + JSON artifacts
+//
+// Each scan's runs (the shared baseline plus one per value) are
+// independent and fan out across -jobs workers (0 = one per CPU) with
+// bit-identical tables to a serial run; -out persists every result as
+// a fingerprint-keyed JSON artifact and resumes from it on re-run.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
@@ -33,8 +40,23 @@ func main() {
 		p       = flag.Int("p", 0, "hotspot share of B nodes")
 		warmup  = flag.Duration("warmup", 2*time.Millisecond, "warmup")
 		measure = flag.Duration("measure", 4*time.Millisecond, "measurement window")
+		jobs    = flag.Int("jobs", 1, "simulation workers (0 = one per CPU)")
+		out     = flag.String("out", "", "artifact directory: persist every result as JSON and resume from it")
 	)
 	flag.Parse()
+
+	opts := core.Opts{Workers: *jobs}
+	if *jobs <= 0 {
+		opts.Workers = core.WorkersAll
+	}
+	if *out != "" {
+		store, err := exp.NewStore(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Lookup = store.Lookup
+		opts.OnResult = store.SaveResult(func(err error) { log.Print(err) })
+	}
 
 	base := core.Default(*radix)
 	base.Seed = *seed
@@ -68,7 +90,7 @@ func main() {
 		if *scan != "all" && *scan != sc.name {
 			continue
 		}
-		res, err := core.ScanCC(base, sc.name, sc.values, sc.apply)
+		res, err := core.ScanCCOpts(base, sc.name, sc.values, sc.apply, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,17 +20,28 @@ type MultiResult struct {
 // RunSeeds executes the scenario once per seed and aggregates the
 // results; the population and every random draw differ per seed.
 func RunSeeds(s Scenario, seeds []uint64) (*MultiResult, error) {
+	return RunSeedsOpts(s, seeds, Opts{})
+}
+
+// RunSeedsOpts is RunSeeds with execution options: the per-seed runs
+// are independent and fan out across Opts.Workers goroutines, and the
+// aggregation happens afterwards in seed order, so the aggregates are
+// bit-identical for any worker count.
+func RunSeedsOpts(s Scenario, seeds []uint64, o Opts) (*MultiResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: no seeds")
 	}
+	scenarios := make([]Scenario, len(seeds))
+	for i, seed := range seeds {
+		scenarios[i] = s
+		scenarios[i].Seed = seed
+	}
+	results, err := runBatch(o, scenarios)
+	if err != nil {
+		return nil, err
+	}
 	out := &MultiResult{Seeds: append([]uint64(nil), seeds...)}
-	for _, seed := range seeds {
-		sc := s
-		sc.Seed = seed
-		r, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range results {
 		out.Hotspot.Add(r.Summary.HotspotAvgGbps)
 		out.NonHotspot.Add(r.Summary.NonHotspotAvgGbps)
 		out.All.Add(r.Summary.AllAvgGbps)

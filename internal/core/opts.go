@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// Opts configures how a sweep driver executes its independent
+// simulations. The zero value runs serially with no hooks; every
+// driver's plain entry point (RunSeeds, RunTableII, ...) is equivalent
+// to its Opts variant with the zero value.
+//
+// Determinism guarantee: a sweep's outcome depends only on its
+// scenarios, never on Workers. Runs execute concurrently, but results
+// are collected in submission order and every reduction (aggregation,
+// pairing, improvement factors) happens serially afterwards, so
+// Workers=4 produces bit-identical output to Workers=1.
+type Opts struct {
+	// Ctx cancels the sweep between simulations; nil means Background.
+	// A cancelled sweep returns ctx.Err() (individual simulations are
+	// not interruptible mid-run).
+	Ctx context.Context
+	// Workers is the simulation worker-pool size: 0 (the zero value)
+	// and 1 run serially, larger values fan independent runs out
+	// across goroutines, and WorkersAll (negative) uses one worker per
+	// CPU.
+	Workers int
+	// Lookup, when non-nil, is consulted before each simulation; a hit
+	// substitutes the returned Result and skips the run entirely
+	// (artifact-based resume; see internal/exp's Store).
+	Lookup func(Scenario) (*Result, bool)
+	// OnResult, when non-nil, observes every completed run: fresh runs
+	// and Lookup hits alike (cached reports which). Calls are
+	// serialized by the driver but arrive in completion order, not
+	// submission order.
+	OnResult func(s Scenario, r *Result, cached bool)
+}
+
+// WorkersAll requests one worker per available CPU (the pool resolves
+// it via runtime.GOMAXPROCS).
+const WorkersAll = -1
+
+// workers returns the effective pool size: the zero Opts value means
+// serial (matching the historical drivers), negative means all CPUs.
+func (o *Opts) workers() int {
+	switch {
+	case o.Workers < 0:
+		return 0 // par.Map resolves 0 to GOMAXPROCS
+	case o.Workers == 0:
+		return 1
+	}
+	return o.Workers
+}
+
+// runBatch executes the scenarios on a worker pool and returns their
+// results in submission order. It is the single execution funnel of
+// every sweep driver.
+func runBatch(o Opts, scenarios []Scenario) ([]*Result, error) {
+	var mu sync.Mutex
+	return par.Map(o.Ctx, o.workers(), len(scenarios), func(i int) (*Result, error) {
+		s := scenarios[i]
+		cached := false
+		var r *Result
+		if o.Lookup != nil {
+			r, cached = o.Lookup(s)
+		}
+		if !cached {
+			var err error
+			if r, err = Run(s); err != nil {
+				return nil, err
+			}
+		}
+		if o.OnResult != nil {
+			mu.Lock()
+			o.OnResult(s, r, cached)
+			mu.Unlock()
+		}
+		return r, nil
+	})
+}

@@ -25,36 +25,37 @@ type TableII struct {
 // forest scenario plus total-throughput rows, from one base scenario
 // (use Default(radix) and adjust Warmup/Measure/Seed).
 func RunTableII(base Scenario) (*TableII, error) {
-	t := &TableII{}
-	run := func(ccOn, cActive bool) (*Result, error) {
+	return RunTableIIOpts(base, Opts{})
+}
+
+// RunTableIIOpts is RunTableII with execution options; the table's four
+// configurations are independent and run concurrently under Workers>1.
+func RunTableIIOpts(base Scenario, o Opts) (*TableII, error) {
+	configs := []struct{ ccOn, cActive bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+	scenarios := make([]Scenario, len(configs))
+	for i, c := range configs {
 		s := base
 		s.FracBPct = 0
-		s.CCOn = ccOn
-		s.CNodesActive = cActive
-		s.Name = fmt.Sprintf("tableII cc=%v hotspots=%v", ccOn, cActive)
-		return Run(s)
+		s.CCOn = c.ccOn
+		s.CNodesActive = c.cActive
+		s.Name = fmt.Sprintf("tableII cc=%v hotspots=%v", c.ccOn, c.cActive)
+		scenarios[i] = s
 	}
-	r, err := run(false, false)
+	results, err := runBatch(o, scenarios)
 	if err != nil {
 		return nil, err
 	}
-	t.NoHotspotsNoCC = r.Summary.AllAvgGbps
-	if r, err = run(true, false); err != nil {
-		return nil, err
-	}
-	t.NoHotspotsCC = r.Summary.AllAvgGbps
-	if r, err = run(false, true); err != nil {
-		return nil, err
-	}
-	t.HotspotsNoCC.Hot = r.Summary.HotspotAvgGbps
-	t.HotspotsNoCC.NonHot = r.Summary.NonHotspotAvgGbps
-	t.TotalNoCC = r.Summary.TotalGbps
-	if r, err = run(true, true); err != nil {
-		return nil, err
-	}
-	t.HotspotsCC.Hot = r.Summary.HotspotAvgGbps
-	t.HotspotsCC.NonHot = r.Summary.NonHotspotAvgGbps
-	t.TotalCC = r.Summary.TotalGbps
+	t := &TableII{}
+	t.NoHotspotsNoCC = results[0].Summary.AllAvgGbps
+	t.NoHotspotsCC = results[1].Summary.AllAvgGbps
+	t.HotspotsNoCC.Hot = results[2].Summary.HotspotAvgGbps
+	t.HotspotsNoCC.NonHot = results[2].Summary.NonHotspotAvgGbps
+	t.TotalNoCC = results[2].Summary.TotalGbps
+	t.HotspotsCC.Hot = results[3].Summary.HotspotAvgGbps
+	t.HotspotsCC.NonHot = results[3].Summary.NonHotspotAvgGbps
+	t.TotalCC = results[3].Summary.TotalGbps
 	return t, nil
 }
 
@@ -93,34 +94,43 @@ type WindyPoint struct {
 // fracB percent B nodes, swept over the given p values, with CC off and
 // on at each point.
 func RunWindySweep(base Scenario, fracB int, ps []int) ([]WindyPoint, error) {
-	out := make([]WindyPoint, 0, len(ps))
+	return RunWindySweepOpts(base, fracB, ps, Opts{})
+}
+
+// RunWindySweepOpts is RunWindySweep with execution options; the
+// 2*len(ps) runs (CC off and on per p) are independent and fan out
+// across the worker pool.
+func RunWindySweepOpts(base Scenario, fracB int, ps []int, o Opts) ([]WindyPoint, error) {
+	scenarios := make([]Scenario, 0, 2*len(ps))
 	for _, p := range ps {
 		s := base
 		s.FracBPct = fracB
 		s.PPercent = p
 		s.CNodesActive = true
-		var pt WindyPoint
-		pt.P = p
-		pt.TMax = s.TMaxNonHotspotGbps()
-
 		s.CCOn = false
 		s.Name = fmt.Sprintf("windy B=%d%% p=%d ccOff", fracB, p)
-		r, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
-		pt.NonHotOff = r.Summary.NonHotspotAvgGbps
-		pt.HotOff = r.Summary.HotspotAvgGbps
-		pt.TotalOff = r.Summary.TotalGbps
-
+		scenarios = append(scenarios, s)
 		s.CCOn = true
 		s.Name = fmt.Sprintf("windy B=%d%% p=%d ccOn", fracB, p)
-		if r, err = Run(s); err != nil {
-			return nil, err
+		scenarios = append(scenarios, s)
+	}
+	results, err := runBatch(o, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WindyPoint, 0, len(ps))
+	for i, p := range ps {
+		off, on := results[2*i], results[2*i+1]
+		pt := WindyPoint{
+			P:         p,
+			TMax:      scenarios[2*i].TMaxNonHotspotGbps(),
+			NonHotOff: off.Summary.NonHotspotAvgGbps,
+			HotOff:    off.Summary.HotspotAvgGbps,
+			TotalOff:  off.Summary.TotalGbps,
+			NonHotOn:  on.Summary.NonHotspotAvgGbps,
+			HotOn:     on.Summary.HotspotAvgGbps,
+			TotalOn:   on.Summary.TotalGbps,
 		}
-		pt.NonHotOn = r.Summary.NonHotspotAvgGbps
-		pt.HotOn = r.Summary.HotspotAvgGbps
-		pt.TotalOn = r.Summary.TotalGbps
 		if pt.TotalOff > 0 {
 			pt.Improvement = pt.TotalOn / pt.TotalOff
 		}
@@ -153,7 +163,14 @@ type MovingPoint struct {
 // RunMovingSweep reproduces one series of figures 9 or 10: the base
 // scenario (node mix and p already set) swept over hotspot lifetimes.
 func RunMovingSweep(base Scenario, lifetimes []sim.Duration) ([]MovingPoint, error) {
-	out := make([]MovingPoint, 0, len(lifetimes))
+	return RunMovingSweepOpts(base, lifetimes, Opts{})
+}
+
+// RunMovingSweepOpts is RunMovingSweep with execution options; the
+// 2*len(lifetimes) runs are independent and fan out across the worker
+// pool.
+func RunMovingSweepOpts(base Scenario, lifetimes []sim.Duration, o Opts) ([]MovingPoint, error) {
+	scenarios := make([]Scenario, 0, 2*len(lifetimes))
 	for _, lt := range lifetimes {
 		s := base
 		s.HotspotLifetime = lt
@@ -163,24 +180,24 @@ func RunMovingSweep(base Scenario, lifetimes []sim.Duration) ([]MovingPoint, err
 		if min := 6 * lt; s.Measure < min {
 			s.Measure = min
 		}
-		var pt MovingPoint
-		pt.Lifetime = lt
-
 		s.CCOn = false
 		s.Name = fmt.Sprintf("moving lt=%v ccOff", lt)
-		r, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
-		pt.AllOff = r.Summary.AllAvgGbps
-
+		scenarios = append(scenarios, s)
 		s.CCOn = true
 		s.Name = fmt.Sprintf("moving lt=%v ccOn", lt)
-		if r, err = Run(s); err != nil {
-			return nil, err
-		}
-		pt.AllOn = r.Summary.AllAvgGbps
-		out = append(out, pt)
+		scenarios = append(scenarios, s)
+	}
+	results, err := runBatch(o, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MovingPoint, 0, len(lifetimes))
+	for i, lt := range lifetimes {
+		out = append(out, MovingPoint{
+			Lifetime: lt,
+			AllOff:   results[2*i].Summary.AllAvgGbps,
+			AllOn:    results[2*i+1].Summary.AllAvgGbps,
+		})
 	}
 	return out, nil
 }

@@ -33,34 +33,43 @@ type Scan struct {
 // authors' earlier hardware work performed, and which the paper says
 // "remains a highly specialized task".
 func ScanCC(base Scenario, name string, values []int, apply func(*Scenario, int)) (*Scan, error) {
+	return ScanCCOpts(base, name, values, apply, Opts{})
+}
+
+// ScanCCOpts is ScanCC with execution options; the baseline and every
+// scan point are independent and fan out across the worker pool, with
+// the improvement factors computed afterwards in value order.
+func ScanCCOpts(base Scenario, name string, values []int, apply func(*Scenario, int), o Opts) (*Scan, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("core: empty scan")
 	}
 	if apply == nil {
 		return nil, fmt.Errorf("core: nil apply")
 	}
-	out := &Scan{Name: name}
-
+	// Scenario 0 is the shared CC-off baseline, then one per value.
+	scenarios := make([]Scenario, 0, 1+len(values))
 	off := base
 	off.CCOn = false
 	off.Name = name + " baseline"
-	r, err := Run(off)
-	if err != nil {
-		return nil, err
-	}
-	out.Baseline.Hot = r.Summary.HotspotAvgGbps
-	out.Baseline.NonHot = r.Summary.NonHotspotAvgGbps
-	out.Baseline.Total = r.Summary.TotalGbps
-
+	scenarios = append(scenarios, off)
 	for _, v := range values {
 		s := base
 		s.CCOn = true
 		s.Name = fmt.Sprintf("%s=%d", name, v)
 		apply(&s, v)
-		r, err := Run(s)
-		if err != nil {
-			return nil, fmt.Errorf("core: scan %s=%d: %w", name, v, err)
-		}
+		scenarios = append(scenarios, s)
+	}
+	results, err := runBatch(o, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("core: scan %s: %w", name, err)
+	}
+
+	out := &Scan{Name: name}
+	out.Baseline.Hot = results[0].Summary.HotspotAvgGbps
+	out.Baseline.NonHot = results[0].Summary.NonHotspotAvgGbps
+	out.Baseline.Total = results[0].Summary.TotalGbps
+	for i, v := range values {
+		r := results[1+i]
 		pt := ScanPoint{
 			Value:      v,
 			Hot:        r.Summary.HotspotAvgGbps,
@@ -77,8 +86,12 @@ func ScanCC(base Scenario, name string, values []int, apply func(*Scenario, int)
 	return out, nil
 }
 
-// Best returns the point with the highest total throughput.
+// Best returns the point with the highest total throughput, or the
+// zero ScanPoint when the scan has no points.
 func (s *Scan) Best() ScanPoint {
+	if len(s.Points) == 0 {
+		return ScanPoint{}
+	}
 	best := s.Points[0]
 	for _, p := range s.Points[1:] {
 		if p.Total > best.Total {
@@ -98,6 +111,8 @@ func (s *Scan) Print(w io.Writer) {
 		fmt.Fprintf(w, "  %8d %9.3f %9.3f %9.1f %8.2fx %9d %10d\n",
 			p.Value, p.Hot, p.NonHot, p.Total, p.Improvement, p.MaxCCTI, p.FECNMarked)
 	}
-	best := s.Best()
-	fmt.Fprintf(w, "  best total at %s=%d (%.1f Gbps, %.2fx)\n", s.Name, best.Value, best.Total, best.Improvement)
+	if len(s.Points) > 0 {
+		best := s.Best()
+		fmt.Fprintf(w, "  best total at %s=%d (%.1f Gbps, %.2fx)\n", s.Name, best.Value, best.Total, best.Improvement)
+	}
 }

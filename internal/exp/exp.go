@@ -1,0 +1,169 @@
+// Package exp is the experiment-orchestration subsystem: it fans
+// independent simulations out across a worker pool, recovers per-job
+// panics into structured errors, reports progress, and persists every
+// result as a JSON artifact keyed by a scenario fingerprint so sweeps
+// are resumable.
+//
+// The package sits above internal/core (jobs carry a core.Scenario and
+// produce a core.Result) and shares the ordered pool primitive of
+// internal/par with core's own sweep drivers. Use it directly for
+// ad-hoc job batches:
+//
+//	jobs := []exp.Job{{Name: "cc-on", Scenario: s1}, {Name: "cc-off", Scenario: s2}}
+//	r := &exp.Runner{Workers: 8, Reporter: exp.NewProgress(os.Stderr, len(jobs))}
+//	results, err := r.Run(ctx, jobs)
+//
+// or wire its Store and Progress into a core sweep via core.Opts
+// (Lookup/OnResult) — cmd/paperbench does both.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Job is one named, taggable simulation to run.
+type Job struct {
+	// Name labels the job in progress output and artifacts; it
+	// defaults to the scenario name.
+	Name string
+	// Scenario is the simulation to run.
+	Scenario core.Scenario
+	// Tags carry free-form experiment metadata (figure id, sweep
+	// coordinates, ...) into the artifact.
+	Tags map[string]string
+}
+
+// JobResult is the outcome of one job, in submission order.
+type JobResult struct {
+	// Job echoes the submitted job.
+	Job Job
+	// Result is the simulation outcome; nil when Err is set.
+	Result *core.Result
+	// Err is the job's failure: a scenario/build error, or a
+	// *par.PanicError when the simulation crashed. One job's error
+	// never aborts the rest of the batch.
+	Err error
+	// Elapsed is the job's wall-clock time (zero for cache hits).
+	Elapsed time.Duration
+	// Cached reports that the result was loaded from the artifact
+	// store instead of being simulated.
+	Cached bool
+}
+
+// Runner executes job batches on a worker pool. The zero value runs
+// with one worker per CPU, no progress output and no artifacts.
+type Runner struct {
+	// Workers is the pool size; <= 0 means one worker per CPU
+	// (runtime.GOMAXPROCS), 1 runs serially.
+	Workers int
+	// Reporter, when non-nil, observes job completions; calls are
+	// serialized.
+	Reporter Reporter
+	// Store, when non-nil, is consulted before each job (a hit skips
+	// the simulation) and receives every fresh result afterwards.
+	Store *Store
+
+	// mu serializes Reporter calls from the pool goroutines.
+	mu sync.Mutex
+	// runFn substitutes core.Run in tests.
+	runFn func(core.Scenario) (*core.Result, error)
+}
+
+// Run executes the jobs and returns their results in submission order.
+//
+// Per-job failures — including panics inside a simulation, which are
+// recovered and converted to *par.PanicError — are reported in the
+// corresponding JobResult.Err and do not stop the batch. The returned
+// error is reserved for orchestration-level failures: a cancelled
+// context (ctx.Err()) or a nil runner invariant. Results slots are
+// populated for every job that ran; jobs skipped by cancellation keep
+// a zero JobResult with Err set to the context error.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total := len(jobs)
+	if r.Reporter != nil {
+		r.Reporter.Start(total)
+		defer r.Reporter.Finish()
+	}
+	results, err := par.Map(ctx, r.Workers, total, func(i int) (JobResult, error) {
+		return r.runJob(jobs[i]), nil
+	})
+	if err != nil {
+		// Only cancellation can surface here (runJob never returns an
+		// error); mark the unrun slots so callers can tell them apart.
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i] = JobResult{Job: jobs[i], Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runJob executes one job with cache lookup, panic recovery and
+// artifact persistence.
+func (r *Runner) runJob(job Job) JobResult {
+	if job.Name == "" {
+		job.Name = job.Scenario.Name
+	}
+	res := JobResult{Job: job}
+	if r.Store != nil {
+		if cached, ok := r.Store.Load(job.Scenario); ok {
+			res.Result, res.Cached = cached, true
+			r.report(res)
+			return res
+		}
+	}
+	start := time.Now()
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				res.Err = &par.PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		run := r.runFn
+		if run == nil {
+			run = core.Run
+		}
+		res.Result, res.Err = run(job.Scenario)
+	}()
+	res.Elapsed = time.Since(start)
+	if res.Err != nil {
+		res.Err = fmt.Errorf("exp: job %q: %w", job.Name, res.Err)
+	} else if r.Store != nil {
+		if err := r.Store.Save(job, res.Result, res.Elapsed); err != nil {
+			res.Err = fmt.Errorf("exp: job %q: artifact: %w", job.Name, err)
+		}
+	}
+	r.report(res)
+	return res
+}
+
+func (r *Runner) report(res JobResult) {
+	if r.Reporter != nil {
+		r.mu.Lock()
+		r.Reporter.Done(res)
+		r.mu.Unlock()
+	}
+}
+
+// Errs collects the per-job errors of a batch, in submission order.
+func Errs(results []JobResult) []error {
+	var out []error
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r.Err)
+		}
+	}
+	return out
+}

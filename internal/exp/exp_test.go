@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// quick returns a small, fast real scenario.
+func quick(radix int) core.Scenario {
+	s := core.Default(radix)
+	s.Warmup = 200 * sim.Microsecond
+	s.Measure = 400 * sim.Microsecond
+	return s
+}
+
+// fakeRun builds a Runner whose simulations are stubbed by fn.
+func fakeRun(workers int, fn func(core.Scenario) (*core.Result, error)) *Runner {
+	return &Runner{Workers: workers, runFn: fn}
+}
+
+func jobs(n int) []Job {
+	out := make([]Job, n)
+	for i := range out {
+		s := quick(6)
+		s.Seed = uint64(i + 1)
+		out[i] = Job{Name: fmt.Sprintf("job-%d", i), Scenario: s}
+	}
+	return out
+}
+
+func TestRunnerOrderingAndConcurrency(t *testing.T) {
+	var live, peak atomic.Int32
+	r := fakeRun(4, func(s core.Scenario) (*core.Result, error) {
+		c := live.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		live.Add(-1)
+		return &core.Result{Name: s.Name, Events: s.Seed}, nil
+	})
+	js := jobs(16)
+	results, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(js) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, res := range results {
+		if res.Job.Name != js[i].Name || res.Result.Events != uint64(i+1) {
+			t.Fatalf("result %d out of order: %+v", i, res)
+		}
+		if res.Err != nil || res.Elapsed <= 0 {
+			t.Fatalf("result %d: err=%v elapsed=%v", i, res.Err, res.Elapsed)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("jobs never overlapped (peak %d)", peak.Load())
+	}
+}
+
+func TestRunnerPanicRecovery(t *testing.T) {
+	r := fakeRun(4, func(s core.Scenario) (*core.Result, error) {
+		if s.Seed == 3 {
+			panic("simulated crash")
+		}
+		return &core.Result{Name: s.Name}, nil
+	})
+	results, err := r.Run(context.Background(), jobs(8))
+	if err != nil {
+		t.Fatalf("batch error: %v (a job panic must not abort the batch)", err)
+	}
+	for i, res := range results {
+		if i == 2 { // job with seed 3
+			var pe *par.PanicError
+			if !errors.As(res.Err, &pe) || pe.Value != "simulated crash" {
+				t.Fatalf("job %d: err = %v, want PanicError", i, res.Err)
+			}
+			if !strings.Contains(res.Err.Error(), "job-2") {
+				t.Fatalf("panic error lacks job name: %v", res.Err)
+			}
+			if res.Result != nil {
+				t.Fatal("panicked job carries a result")
+			}
+			continue
+		}
+		if res.Err != nil || res.Result == nil {
+			t.Fatalf("job %d poisoned by sibling panic: %v", i, res.Err)
+		}
+	}
+	if n := len(Errs(results)); n != 1 {
+		t.Fatalf("Errs = %d", n)
+	}
+}
+
+func TestRunnerJobErrorDoesNotAbort(t *testing.T) {
+	r := fakeRun(2, func(s core.Scenario) (*core.Result, error) {
+		if s.Seed%2 == 0 {
+			return nil, errors.New("bad scenario")
+		}
+		return &core.Result{Name: s.Name}, nil
+	})
+	results, err := r.Run(context.Background(), jobs(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		wantErr := (i+1)%2 == 0
+		if (res.Err != nil) != wantErr {
+			t.Fatalf("job %d: err = %v", i, res.Err)
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	r := fakeRun(2, func(s core.Scenario) (*core.Result, error) {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return &core.Result{Name: s.Name}, nil
+	})
+	results, err := r.Run(ctx, jobs(64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if int(started.Load()) >= 64 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+	// Unrun slots are marked with the context error.
+	sawSkipped := false
+	for _, res := range results {
+		if res.Result == nil {
+			sawSkipped = true
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("skipped job err = %v", res.Err)
+			}
+		}
+	}
+	if !sawSkipped {
+		t.Fatal("no skipped slots after cancellation")
+	}
+}
+
+func TestRunnerRealSimulation(t *testing.T) {
+	// End to end with the actual simulator: parallel results must be
+	// identical to serial ones, job by job.
+	js := jobs(3)
+	serial, err := (&Runner{Workers: 1}).Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 3}).Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		a, b := serial[i].Result, parallel[i].Result
+		if a == nil || b == nil {
+			t.Fatalf("job %d failed: %v %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if a.Summary != b.Summary || a.Events != b.Events {
+			t.Fatalf("job %d: serial %v (%d ev) != parallel %v (%d ev)",
+				i, a.Summary, a.Events, b.Summary, b.Events)
+		}
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, 2)
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		return &core.Result{Name: s.Name, Events: 1000}, nil
+	})
+	r.Reporter = p
+	if _, err := r.Run(context.Background(), jobs(2)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[1/2]") || !strings.Contains(out, "[2/2]") {
+		t.Fatalf("progress output missing counters:\n%q", out)
+	}
+	if !strings.Contains(out, "events/s") {
+		t.Fatalf("progress output missing rate:\n%q", out)
+	}
+	if p.Events() != 2000 {
+		t.Fatalf("events = %d", p.Events())
+	}
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Reporter observes a batch's lifecycle. Implementations need not be
+// concurrency-safe when driven by a Runner (which serializes calls);
+// Progress additionally locks internally so it can also be fed from
+// core.Opts.OnResult hooks.
+type Reporter interface {
+	// Start announces the batch size (0 when unknown).
+	Start(total int)
+	// Done reports one completed job.
+	Done(res JobResult)
+	// Finish flushes any pending output.
+	Finish()
+}
+
+// Progress is a line-oriented progress reporter: after every job it
+// rewrites one status line ("done/total, events/sec, ETA") on its
+// writer, typically stderr. It tolerates an unknown total (no ETA) and
+// can be driven either as a Runner's Reporter or manually via Observe
+// from a core sweep's OnResult hook.
+type Progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	total  int
+	done   int
+	failed int
+	cached int
+	events uint64
+	start  time.Time
+}
+
+// NewProgress returns a Progress writing to w, expecting total jobs
+// (0 = unknown).
+func NewProgress(w io.Writer, total int) *Progress {
+	return &Progress{w: w, total: total, start: time.Now()}
+}
+
+// Start implements Reporter; it (re)arms the clock and total.
+func (p *Progress) Start(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.done, p.failed, p.cached, p.events = 0, 0, 0, 0
+	p.start = time.Now()
+}
+
+// Done implements Reporter.
+func (p *Progress) Done(res JobResult) {
+	var events uint64
+	if res.Result != nil {
+		events = res.Result.Events
+	}
+	p.observe(events, res.Cached, res.Err != nil)
+}
+
+// Observe records one completed simulation outside a Runner (the
+// core.Opts.OnResult signature adapts directly:
+// func(s, r, cached) { p.Observe(r.Events, cached) }).
+func (p *Progress) Observe(events uint64, cached bool) {
+	p.observe(events, cached, false)
+}
+
+func (p *Progress) observe(events uint64, cached, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.events += events
+	if cached {
+		p.cached++
+	}
+	if failed {
+		p.failed++
+	}
+	p.line()
+}
+
+// Events returns the total simulated events observed so far.
+func (p *Progress) Events() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
+}
+
+// Finish implements Reporter: it terminates the status line.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done > 0 {
+		fmt.Fprintln(p.w)
+	}
+}
+
+// line rewrites the status line; the caller holds p.mu.
+func (p *Progress) line() {
+	elapsed := time.Since(p.start)
+	rate := float64(p.events) / elapsed.Seconds() / 1e6
+	fmt.Fprintf(p.w, "\r\x1b[K%s", p.status(elapsed, rate))
+}
+
+func (p *Progress) status(elapsed time.Duration, rate float64) string {
+	var s string
+	if p.total > 0 {
+		s = fmt.Sprintf("[%d/%d]", p.done, p.total)
+	} else {
+		s = fmt.Sprintf("[%d]", p.done)
+	}
+	s += fmt.Sprintf(" %v, %.1fM events/s", elapsed.Round(time.Second), rate)
+	if p.total > 0 && p.done > 0 && p.done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		s += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+	}
+	if p.cached > 0 {
+		s += fmt.Sprintf(", %d cached", p.cached)
+	}
+	if p.failed > 0 {
+		s += fmt.Sprintf(", %d FAILED", p.failed)
+	}
+	return s
+}
+
+// OnResult returns a core.Opts.OnResult hook feeding this Progress, so
+// core sweep drivers report through the same status line as Runner
+// batches.
+func (p *Progress) OnResult() func(core.Scenario, *core.Result, bool) {
+	return func(_ core.Scenario, r *core.Result, cached bool) {
+		var events uint64
+		if r != nil {
+			events = r.Events
+		}
+		p.Observe(events, cached)
+	}
+}

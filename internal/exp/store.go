@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Artifact is the JSON document the store persists per simulation: the
+// full result, the scenario that produced it, and the fingerprint that
+// keys it.
+type Artifact struct {
+	// Name is the job or scenario label.
+	Name string `json:"name"`
+	// Fingerprint is the scenario's content hash (hex SHA-256).
+	Fingerprint string `json:"fingerprint"`
+	// Tags carry the job's metadata, if any.
+	Tags map[string]string `json:"tags,omitempty"`
+	// Scenario is the exact configuration that ran.
+	Scenario core.Scenario `json:"scenario"`
+	// Result is the complete simulation outcome.
+	Result *core.Result `json:"result"`
+	// ElapsedNS is the wall-clock simulation time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// SavedAt is the artifact's creation time (RFC 3339).
+	SavedAt string `json:"saved_at"`
+}
+
+// Fingerprint hashes every field of a scenario (via its canonical JSON
+// encoding) into a stable hex key: two scenarios collide exactly when
+// they would simulate identically, which is what makes artifacts safe
+// to substitute for runs.
+func Fingerprint(s core.Scenario) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Scenario is a plain value struct; this cannot fail.
+		panic(fmt.Sprintf("exp: fingerprint: %v", err))
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Store persists one JSON artifact per simulated scenario in a
+// directory, keyed by scenario fingerprint. A populated store makes
+// sweeps resumable: re-running the same scenarios loads the saved
+// results instead of simulating (see Runner.Store and core.Opts.Lookup).
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// path returns the artifact filename for a fingerprint.
+func (st *Store) path(fp string) string {
+	return filepath.Join(st.dir, fp[:16]+".json")
+}
+
+// Save writes the job's artifact atomically (temp file + rename), so a
+// concurrent or interrupted sweep never leaves a truncated artifact
+// behind.
+func (st *Store) Save(job Job, r *core.Result, elapsed time.Duration) error {
+	fp := Fingerprint(job.Scenario)
+	name := job.Name
+	if name == "" {
+		name = job.Scenario.Name
+	}
+	a := Artifact{
+		Name:        name,
+		Fingerprint: fp,
+		Tags:        job.Tags,
+		Scenario:    job.Scenario,
+		Result:      r,
+		ElapsedNS:   elapsed.Nanoseconds(),
+		SavedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	b, err := json.MarshalIndent(&a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: store: encode %s: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(st.dir, "."+fp[:16]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: store: write %s: %w", name, firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), st.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	return nil
+}
+
+// Load returns the stored result for a scenario, if an artifact with a
+// matching fingerprint exists. Corrupt or mismatching artifacts are
+// ignored (the scenario just re-runs).
+func (st *Store) Load(s core.Scenario) (*core.Result, bool) {
+	fp := Fingerprint(s)
+	b, err := os.ReadFile(st.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil || a.Fingerprint != fp || a.Result == nil {
+		return nil, false
+	}
+	return a.Result, true
+}
+
+// Lookup adapts Load to the core.Opts.Lookup hook signature.
+func (st *Store) Lookup(s core.Scenario) (*core.Result, bool) { return st.Load(s) }
+
+// SaveResult adapts Save to the core.Opts.OnResult hook: fresh results
+// are persisted, cache hits are left alone. Persistence errors are
+// reported through errf (stderr logging in the CLIs) rather than
+// aborting the sweep.
+func (st *Store) SaveResult(errf func(error)) func(core.Scenario, *core.Result, bool) {
+	return func(s core.Scenario, r *core.Result, cached bool) {
+		if cached {
+			return
+		}
+		if err := st.Save(Job{Name: s.Name, Scenario: s}, r, 0); err != nil && errf != nil {
+			errf(err)
+		}
+	}
+}
+
+// Len counts the artifacts currently in the store.
+func (st *Store) Len() int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

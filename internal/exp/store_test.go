@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := quick(6), quick(6)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical scenarios fingerprint differently")
+	}
+	b.Seed = 2
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("seed change did not change the fingerprint")
+	}
+	c := a
+	c.CC.Threshold++
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("CC parameter change did not change the fingerprint")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quick(6)
+	if _, ok := st.Load(s); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	res, err := core.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Name: "round-trip", Scenario: s, Tags: map[string]string{"fig": "5"}}
+	if err := st.Save(job, res, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d artifacts", st.Len())
+	}
+	got, ok := st.Load(s)
+	if !ok {
+		t.Fatal("saved scenario not found")
+	}
+	if got.Summary != res.Summary || got.Events != res.Events || got.Name != res.Name {
+		t.Fatalf("loaded result differs:\n%v\n%v", got.Summary, res.Summary)
+	}
+	// A different scenario misses.
+	other := s
+	other.Seed = 99
+	if _, ok := st.Load(other); ok {
+		t.Fatal("different scenario hit the same artifact")
+	}
+	// The artifact on disk is well-formed JSON with the expected keys.
+	files, _ := filepath.Glob(filepath.Join(st.Dir(), "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("artifact files: %v", files)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "round-trip" || a.Tags["fig"] != "5" || a.Fingerprint != Fingerprint(s) {
+		t.Fatalf("artifact metadata: %+v", a)
+	}
+}
+
+func TestStoreIgnoresCorruptArtifact(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quick(6)
+	fp := Fingerprint(s)
+	if err := os.WriteFile(st.path(fp), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(s); ok {
+		t.Fatal("corrupt artifact accepted")
+	}
+}
+
+func TestRunnerSkipsCachedJobs(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := 0
+	r := &Runner{Workers: 1, Store: st, runFn: func(s core.Scenario) (*core.Result, error) {
+		simulated++
+		return &core.Result{Name: s.Name, Events: 42}, nil
+	}}
+	js := jobs(3)
+	first, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 3 {
+		t.Fatalf("first pass simulated %d", simulated)
+	}
+	for _, res := range first {
+		if res.Cached {
+			t.Fatal("first pass reported cache hits")
+		}
+	}
+	second, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 3 {
+		t.Fatalf("resume re-simulated (%d total)", simulated)
+	}
+	for i, res := range second {
+		if !res.Cached || res.Result == nil || res.Result.Events != 42 {
+			t.Fatalf("job %d not served from cache: %+v", i, res)
+		}
+	}
+}
+
+func TestStoreCoreOptsIntegration(t *testing.T) {
+	// The store's Lookup/SaveResult hooks plug into a core sweep and
+	// make it resumable with identical aggregates.
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quick(6)
+	seeds := []uint64{1, 2}
+	opts := core.Opts{
+		Workers:  2,
+		Lookup:   st.Lookup,
+		OnResult: st.SaveResult(func(err error) { t.Error(err) }),
+	}
+	fresh, err := core.RunSeedsOpts(s, seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(seeds) {
+		t.Fatalf("store holds %d artifacts", st.Len())
+	}
+	resumed, err := core.RunSeedsOpts(s, seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Total.Mean() != resumed.Total.Mean() || fresh.Events.Mean() != resumed.Events.Mean() {
+		t.Fatal("resumed sweep differs from fresh sweep")
+	}
+}

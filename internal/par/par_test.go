@@ -1,0 +1,154 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // shuffle completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU")
+	}
+	var peak, cur atomic.Int32
+	_, err := Map(context.Background(), 4, 16, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("no overlap observed (peak %d)", peak.Load())
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError = %+v", workers, pe)
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	// With errors at several indices, the lowest one is reported
+	// regardless of completion order.
+	out, err := Map(context.Background(), 4, 20, func(i int) (int, error) {
+		if i == 5 || i == 11 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail 5" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("partial results missing: %d", len(out))
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int32
+	_, err := Map(context.Background(), 1, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("serial path ran %d tasks after error at 2", n)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_, err := Map(ctx, workers, 1000, func(i int) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch", workers)
+		}
+		cancel()
+	}
+}
+
+func TestMapEmptyAndNilCtx(t *testing.T) {
+	out, err := Map[int](nil, 4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+	got, err := Map(nil, 0, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("nil ctx: %v %v", got, err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) && w != 100 {
+		t.Fatalf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3) = %d", w)
+	}
+	if w := Workers(-1, 1); w != 1 {
+		t.Fatalf("Workers(-1,1) = %d", w)
+	}
+}
