@@ -1,13 +1,19 @@
 # Tier-1 verification gate. `make check` is what CI and pre-merge runs:
-# vet + build + the full test suite under the race detector, so the
-# experiment harness's concurrency (internal/par, internal/exp, the
-# parallel sweep drivers) is race-checked on every change.
+# formatting + vet + build + the full test suite under the race
+# detector, so the experiment harness's concurrency (internal/par,
+# internal/exp, the parallel sweep drivers) is race-checked on every
+# change.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test race bench paperbench clean
+.PHONY: check fmt-check vet build test race bench bench-obs paperbench clean
 
-check: vet build race
+check: fmt-check vet build race
+
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +29,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Flight-recorder overhead: the disabled-bus benchmark must report
+# 0 allocs/op, proving observability costs nothing when off.
+bench-obs:
+	$(GO) test ./internal/obs -bench=Bus -benchmem
 
 # Quick end-to-end smoke: one figure, parallel, with artifacts.
 paperbench:

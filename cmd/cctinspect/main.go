@@ -2,24 +2,44 @@
 // concrete behaviour: the CCT-indexed injection rate delays and effective
 // flow rates, the threshold weight mapping, and the recovery timer — a
 // quick way to sanity-check a parameter set before simulating it.
+//
+// With -run it additionally simulates a scenario under the parameter set
+// and prints the CCTI-over-time table recorded by the flight-recorder
+// event bus: per interval the throttle increments and decrements, the
+// number of flows holding congestion state, and the max and mean CCTI.
+//
+//	cctinspect -threshold 3
+//	cctinspect -run -radix 12 -fracb 100 -p 60 -interval 500us
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"time"
 
 	"repro/internal/cc"
+	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/ib"
 	"repro/internal/sim"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cctinspect: ")
 	var (
-		limit  = flag.Int("limit", 127, "CCTI limit")
-		timer  = flag.Int("timer", 150, "CCTI timer (units of 1.024us)")
-		weight = flag.Int("threshold", 15, "threshold weight 0-15")
-		every  = flag.Int("every", 8, "print every n-th CCT row")
+		limit    = flag.Int("limit", 127, "CCTI limit")
+		timer    = flag.Int("timer", 150, "CCTI timer (units of 1.024us)")
+		weight   = flag.Int("threshold", 15, "threshold weight 0-15")
+		every    = flag.Int("every", 8, "print every n-th CCT row")
+		run      = flag.Bool("run", false, "simulate a scenario and print the CCTI-over-time table")
+		radix    = flag.Int("radix", 12, "fat-tree radix of the -run scenario")
+		fracB    = flag.Int("fracb", 0, "percent of B nodes in the -run scenario")
+		pShare   = flag.Int("p", 0, "hotspot share of B nodes in the -run scenario")
+		measure  = flag.Duration("measure", 3*time.Millisecond, "-run measurement window (after a 2ms warmup)")
+		interval = flag.Duration("interval", 500*time.Microsecond, "-run table bucket size")
 	)
 	flag.Parse()
 
@@ -70,4 +90,34 @@ func main() {
 		fmt.Printf("  %s weight %2d: mark above %6d B queued (~%d packets)\n",
 			marker, w, thr, thr/wire)
 	}
+
+	if *run {
+		fmt.Println()
+		if err := runTable(p, *radix, *fracB, *pShare,
+			sim.Duration(measure.Nanoseconds())*sim.Nanosecond,
+			sim.Duration(interval.Nanoseconds())*sim.Nanosecond); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runTable simulates the scenario under params and prints the
+// CCTI-over-time table from the flight recorder's CCTI log.
+func runTable(params cc.Params, radix, fracB, p int, measure, interval sim.Duration) error {
+	s := core.Default(radix)
+	s.CC = params
+	s.FracBPct = fracB
+	s.PPercent = p
+	s.Warmup = 2 * sim.Millisecond
+	s.Measure = measure
+	in, err := core.Build(s)
+	if err != nil {
+		return err
+	}
+	ob := in.Observe(core.ObserveOpts{CCTILog: true})
+	res := in.Execute()
+	fmt.Printf("run: %s, B=%d%% p=%d%%, %d CCTI steps recorded (fecn=%d becn=%d maxCCTI=%d)\n",
+		s.Name, fracB, p, len(ob.CCTI.Samples),
+		res.CCStats.FECNMarked, res.CCStats.BECNReceived, res.CCStats.MaxCCTI)
+	return ob.CCTI.WriteTable(os.Stdout, interval, sim.Time(0).Add(s.Warmup+s.Measure))
 }

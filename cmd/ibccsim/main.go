@@ -6,6 +6,8 @@
 //	ibccsim -radix 36 -warmup 10ms -measure 50ms # paper scale (slow)
 //	ibccsim -seeds 8 -jobs 4                     # 8 seeds over 4 workers
 //	ibccsim -out results/                        # save a JSON artifact
+//	ibccsim -radix 12 -ctree                     # print the congestion trees
+//	ibccsim -chrome-trace run.trace              # flight recording for Perfetto
 //
 // With -seeds N > 1 the scenario runs once per seed (seed, seed+1, ...)
 // fanned out over -jobs workers, and the mean rates with 95% confidence
@@ -47,6 +49,9 @@ func main() {
 		numSeeds = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report mean ±95% CI")
 		jobs     = flag.Int("jobs", 1, "simulation workers for -seeds > 1 (0 = one per CPU)")
 		out      = flag.String("out", "", "artifact directory: persist results as JSON (and resume -seeds runs)")
+		events   = flag.String("events", "", "write a JSONL event log of the run to this file")
+		chrome   = flag.String("chrome-trace", "", "write a Chrome trace_event file (open in Perfetto) to this file")
+		ctree    = flag.Bool("ctree", false, "reconstruct the congestion trees from the event bus and print them")
 	)
 	flag.Parse()
 
@@ -70,6 +75,9 @@ func main() {
 	}
 
 	if *numSeeds > 1 {
+		if *events != "" || *chrome != "" || *ctree {
+			log.Fatal("-events/-chrome-trace/-ctree record a single run; use -seeds 1")
+		}
 		runSeeds(s, *numSeeds, *jobs, store, *quiet)
 		return
 	}
@@ -83,8 +91,50 @@ func main() {
 	if *traceCSV != "" {
 		rec = inst.AttachStandardTrace(ibcc.Duration(traceInt.Nanoseconds()) * ibcc.Nanosecond)
 	}
+	var ob *ibcc.Observation
+	var obFiles []*os.File
+	if *events != "" || *chrome != "" || *ctree {
+		o := ibcc.ObserveOpts{Tree: *ctree}
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.Events = f
+			obFiles = append(obFiles, f)
+		}
+		if *chrome != "" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o.ChromeTrace = f
+			obFiles = append(obFiles, f)
+		}
+		ob = inst.Observe(o)
+	}
 	res := inst.Execute()
 	elapsed := time.Since(start)
+
+	if ob != nil {
+		if err := ob.Close(); err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range obFiles {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if !*quiet {
+			nj, nc := ob.EventsWritten()
+			if *events != "" {
+				fmt.Printf("events   : %d -> %s\n", nj, *events)
+			}
+			if *chrome != "" {
+				fmt.Printf("trace    : %d events -> %s (open in ui.perfetto.dev)\n", nc, *chrome)
+			}
+		}
+	}
 
 	if store != nil {
 		if err := store.Save(ibcc.Job{Name: s.Name, Scenario: s}, res, elapsed); err != nil {
@@ -113,6 +163,9 @@ func main() {
 
 	if *quiet {
 		fmt.Println(res.Summary)
+		if *ctree {
+			ob.TreeReport().WriteTo(os.Stdout)
+		}
 		return
 	}
 	fmt.Printf("scenario : %s (%d nodes, %d switches)\n", res.Name, s.NumNodes(), *radix+*radix/2)
@@ -136,6 +189,9 @@ func main() {
 	fmt.Printf("engine   : %d events in %v (%.1fM events/s)\n",
 		res.Events, elapsed.Round(time.Millisecond),
 		float64(res.Events)/elapsed.Seconds()/1e6)
+	if *ctree {
+		ob.TreeReport().WriteTo(os.Stdout)
+	}
 }
 
 // runSeeds executes the scenario over n consecutive seeds on a worker

@@ -7,6 +7,8 @@
 //	paperbench -radix 36 -full      # paper scale and windows (slow)
 //	paperbench -jobs 8              # fan simulations over 8 workers
 //	paperbench -out results/        # persist + resume via JSON artifacts
+//	paperbench -cpuprofile cpu.pb   # profile the run (go tool pprof)
+//	paperbench -chrome-trace f5.trace -ctree  # flight-record the base scenario
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -25,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,8 +57,17 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "simulation workers (0 = one per CPU)")
 		out      = flag.String("out", "", "artifact directory: persist every result as JSON and resume from it")
 		progress = flag.Bool("progress", stderrIsTTY(), "live progress line on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		events   = flag.String("events", "", "flight-record the base scenario: JSONL event log to this file, then exit")
+		chrome   = flag.String("chrome-trace", "", "flight-record the base scenario: Chrome trace to this file, then exit")
+		ctree    = flag.Bool("ctree", false, "flight-record the base scenario: print its congestion trees, then exit")
 	)
 	flag.Parse()
+
+	stopCPU := startCPUProfile(*cpuProf)
+	defer stopCPU()
+	defer writeMemProfile(*memProf)
 
 	base := ibcc.DefaultScenario(*radix)
 	base.Seed = *seed
@@ -63,6 +76,13 @@ func main() {
 		base.Warmup = 20 * ibcc.Millisecond
 		base.Measure = 100 * ibcc.Millisecond
 		ltScale = 1
+	}
+
+	if *events != "" || *chrome != "" || *ctree {
+		if err := flightRecord(base, *events, *chrome, *ctree); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	workers := *jobs
@@ -227,6 +247,96 @@ func main() {
 	}
 
 	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// flightRecord runs the base scenario once with the flight recorder
+// attached, instead of the experiment sweeps: the observability pass
+// over the exact configuration the figures use.
+func flightRecord(s ibcc.Scenario, eventsPath, chromePath string, ctree bool) error {
+	inst, err := ibcc.Build(s)
+	if err != nil {
+		return err
+	}
+	o := ibcc.ObserveOpts{Tree: ctree}
+	var files []*os.File
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		o.Events = f
+		files = append(files, f)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		o.ChromeTrace = f
+		files = append(files, f)
+	}
+	ob := inst.Observe(o)
+	start := time.Now()
+	res := inst.Execute()
+	if err := ob.Close(); err != nil {
+		return err
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("flight recording: %s, %d events in %v\n",
+		s.Name, res.Events, time.Since(start).Round(time.Millisecond))
+	nj, nc := ob.EventsWritten()
+	if eventsPath != "" {
+		fmt.Printf("  events: %d -> %s\n", nj, eventsPath)
+	}
+	if chromePath != "" {
+		fmt.Printf("  trace : %d events -> %s (open in ui.perfetto.dev)\n", nc, chromePath)
+	}
+	if ctree {
+		if _, err := ob.TreeReport().WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startCPUProfile begins CPU profiling to path (no-op when empty) and
+// returns the stop function to defer.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps the post-GC heap profile to path (no-op when
+// empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // stderrIsTTY reports whether stderr is a character device, gating the

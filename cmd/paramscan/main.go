@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -42,8 +44,14 @@ func main() {
 		measure = flag.Duration("measure", 4*time.Millisecond, "measurement window")
 		jobs    = flag.Int("jobs", 1, "simulation workers (0 = one per CPU)")
 		out     = flag.String("out", "", "artifact directory: persist every result as JSON and resume from it")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU := startCPUProfile(*cpuProf)
+	defer stopCPU()
+	defer writeMemProfile(*memProf)
 
 	opts := core.Opts{Workers: *jobs}
 	if *jobs <= 0 {
@@ -102,4 +110,40 @@ func main() {
 		log.Fatalf("unknown scan %q", *scan)
 	}
 	fmt.Printf("paramscan: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// startCPUProfile begins CPU profiling to path (no-op when empty) and
+// returns the stop function to defer.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps the post-GC heap profile to path (no-op when
+// empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
 }

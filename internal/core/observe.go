@@ -1,0 +1,116 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// ObserveOpts selects the flight-recorder consumers to attach to a
+// built instance. Any combination may be enabled; the zero value
+// attaches a bare bus with no consumers (events are skipped at the
+// publish site, so it is as free as not observing at all).
+type ObserveOpts struct {
+	// Events streams every event as one JSON line.
+	Events io.Writer
+	// ChromeTrace streams a Chrome trace_event document viewable in
+	// chrome://tracing or Perfetto.
+	ChromeTrace io.Writer
+	// Tree attaches the congestion-tree analyzer.
+	Tree bool
+	// Counters attaches the per-switch-port counter registry.
+	Counters bool
+	// CCTILog records every CCTI step for later tabulation.
+	CCTILog bool
+}
+
+// Observation is the handle to a run's attached flight recorder. The
+// analytical consumers are ready after Execute; Close must run before
+// the Events/ChromeTrace outputs are read.
+type Observation struct {
+	// Bus is the event bus wired into the fabric and the CC manager.
+	Bus *obs.Bus
+	// Registry holds the per-switch-port counters (Counters option).
+	Registry *obs.Registry
+	// Tree is the congestion-tree analyzer (Tree option).
+	Tree *obs.TreeAnalyzer
+	// CCTI is the CCTI step log (CCTILog option).
+	CCTI *obs.CCTILog
+
+	jsonl  *obs.JSONLWriter
+	chrome *obs.ChromeTracer
+}
+
+// Observe attaches the flight recorder to a built-but-not-executed
+// instance: it creates the event bus, subscribes the consumers selected
+// in o, and wires the bus into the fabric and (when CC is on) the CC
+// manager. Call between Build and Execute.
+func (in *Instance) Observe(o ObserveOpts) *Observation {
+	if in.executed {
+		panic("core: Observe after Execute")
+	}
+	bus := obs.New()
+	ob := &Observation{Bus: bus}
+	if o.Events != nil {
+		ob.jsonl = obs.NewJSONLWriter(o.Events)
+		ob.jsonl.Attach(bus)
+	}
+	if o.ChromeTrace != nil {
+		ob.chrome = obs.NewChromeTracer(o.ChromeTrace)
+		ob.chrome.Attach(bus)
+	}
+	if o.Tree {
+		ob.Tree = obs.NewTreeAnalyzer()
+		ob.Tree.Attach(bus)
+	}
+	if o.Counters {
+		ob.Registry = obs.NewRegistry(in.Net.Config().NumVLs)
+		ob.Registry.Attach(bus)
+	}
+	if o.CCTILog {
+		ob.CCTI = obs.NewCCTILog()
+		ob.CCTI.Attach(bus)
+	}
+	in.Net.SetBus(bus)
+	if in.CC != nil {
+		in.CC.SetBus(bus)
+	}
+	return ob
+}
+
+// TreeReport reconstructs the congestion trees observed by the run.
+// It requires the Tree option.
+func (ob *Observation) TreeReport() *obs.TreeReport {
+	if ob.Tree == nil {
+		return nil
+	}
+	return ob.Tree.Report()
+}
+
+// Close finalizes the streaming consumers (flushing the JSONL log and
+// terminating the Chrome trace document) and returns the first write
+// error any of them hit. Call after Execute.
+func (ob *Observation) Close() error {
+	var err error
+	if ob.jsonl != nil {
+		err = ob.jsonl.Close()
+	}
+	if ob.chrome != nil {
+		if cerr := ob.chrome.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// EventsWritten reports how many events the JSONL and Chrome consumers
+// emitted (zero for unattached consumers).
+func (ob *Observation) EventsWritten() (jsonl, chrome uint64) {
+	if ob.jsonl != nil {
+		jsonl = ob.jsonl.Events()
+	}
+	if ob.chrome != nil {
+		chrome = ob.chrome.Events()
+	}
+	return
+}

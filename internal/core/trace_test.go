@@ -63,6 +63,50 @@ func TestAttachStandardTrace(t *testing.T) {
 	}
 }
 
+func TestStandardTraceDeltaProbes(t *testing.T) {
+	// The CC activity probes differentiate cumulative counters: every
+	// sample must be non-negative (the counters are monotone and the
+	// probes must keep their interval state straight), and the samples
+	// must sum back to the run's final counter values.
+	s := quick(8)
+	interval := 100 * sim.Microsecond
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := in.AttachStandardTrace(interval)
+	res := in.Execute()
+
+	secs := interval.Seconds()
+	sums := map[string]float64{}
+	for _, sr := range rec.Series() {
+		switch sr.Name {
+		case "fecn_marks_per_s", "becn_per_s":
+			for i, v := range sr.Values {
+				if v < 0 {
+					t.Fatalf("%s sample %d = %v, negative delta", sr.Name, i, v)
+				}
+				sums[sr.Name] += v * secs
+			}
+		}
+	}
+	if res.CCStats.FECNMarked == 0 {
+		t.Fatal("scenario produced no marks; test is vacuous")
+	}
+	for name, total := range map[string]uint64{
+		"fecn_marks_per_s": res.CCStats.FECNMarked,
+		"becn_per_s":       res.CCStats.BECNReceived,
+	} {
+		got := sums[name]
+		// The last grid point coincides with the end of the run, so the
+		// integrated rate may miss at most the events of that final
+		// instant.
+		if got > float64(total)+0.5 || got < float64(total)*0.99-5 {
+			t.Fatalf("%s integrates to %.1f, final counter %d", name, got, total)
+		}
+	}
+}
+
 func TestTraceWithoutCC(t *testing.T) {
 	s := quick(8)
 	s.CCOn = false

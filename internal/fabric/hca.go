@@ -169,11 +169,16 @@ func (h *HCA) tryTxOut() {
 		return
 	}
 	p := h.obuf.Peek()
-	if p == nil || !h.out.canSend(p.VL, p.WireBytes()) {
+	if p == nil {
+		return
+	}
+	if !h.out.canSend(p.VL, p.WireBytes()) {
+		h.net.bus.CreditStalled(h.net.simr.Now(), false, int(h.lid), 0, p.VL, h.out.credits[p.VL], p.WireBytes())
 		return
 	}
 	h.obuf.Pop()
 	h.obufBytes -= p.WireBytes()
+	h.net.bus.PacketSent(h.net.simr.Now(), false, int(h.lid), 0, p)
 	ser := h.out.transmit(p)
 	h.net.simr.ScheduleAction(ser, h.txAct)
 	h.kickSend() // staging space freed
@@ -258,6 +263,7 @@ func (h *HCA) delivered(p *ib.Packet) {
 	case ib.AckPacket:
 		h.ctr.RxAck++
 	}
+	h.net.bus.PacketDelivered(h.net.simr.Now(), h.lid, p)
 	if h.net.hooks.Deliver != nil {
 		h.net.hooks.Deliver(h.lid, p)
 	}

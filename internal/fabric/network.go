@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ib"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -17,6 +18,9 @@ type Network struct {
 	routing *topo.Routing
 	cfg     Config
 	hooks   Hooks
+	// bus is the flight-recorder event bus; nil (the default) disables
+	// observability at zero cost on the forward path.
+	bus *obs.Bus
 
 	hcas     []*HCA        // indexed by host LID
 	switches []*SwitchNode // dense switch index
@@ -108,6 +112,13 @@ func (n *Network) setUpstream(node *topo.Node, port int, ct creditTaker) {
 // before Start. It lets the congestion-control manager be built against
 // the network and then attached.
 func (n *Network) SetHooks(h Hooks) { n.hooks = h }
+
+// SetBus attaches the flight-recorder event bus; it must be called
+// before Start. A nil bus (the default) disables event publication.
+func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
+
+// Bus returns the attached event bus (nil when observability is off).
+func (n *Network) Bus() *obs.Bus { return n.bus }
 
 // HCA returns the host with the given LID.
 func (n *Network) HCA(lid ib.LID) *HCA { return n.hcas[lid] }

@@ -103,6 +103,7 @@ func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
 	op.voqs[inPort*nv+int(p.VL)].Push(p)
 	op.qbytes[p.VL] += p.WireBytes()
 	op.pending++
+	n.bus.QueueSampled(n.simr.Now(), op.sw.index, op.port, op.hostFacing, p.VL, op.qbytes[p.VL])
 	if !op.busy {
 		op.tryTx()
 	}
@@ -136,6 +137,7 @@ func (op *swOutPort) tryTx() {
 			vlNext = n.hooks.SelectVL(op.sw.index, k/n.cfg.NumVLs, op.port, head)
 		}
 		if !op.canSend(vlNext, head.WireBytes()) {
+			n.bus.CreditStalled(n.simr.Now(), true, op.sw.index, op.port, vlNext, op.credits[vlNext], head.WireBytes())
 			continue
 		}
 		op.rr = k + 1
@@ -168,6 +170,8 @@ func (op *swOutPort) tryTx() {
 		n.sendCredit(ip.up, head.VL, wire)
 		head.VL = vlNext
 
+		n.bus.QueueSampled(n.simr.Now(), op.sw.index, op.port, op.hostFacing, ib.VL(vl), op.qbytes[vl])
+		n.bus.PacketSent(n.simr.Now(), true, op.sw.index, op.port, head)
 		ser := op.transmit(head)
 		n.simr.ScheduleAction(ser, op.txAct)
 		return

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// CCTISample is one recorded CCTI step.
+type CCTISample struct {
+	Time     sim.Time
+	Src, Dst ib.LID
+	Old, New uint16
+}
+
+// CCTILog is a bus consumer recording every CCTI step, and rendering
+// them as a CCTI-over-time table (cctinspect -run). Because the log
+// keeps the full step sequence, the table can reconstruct the exact
+// throttle state at any instant without sampling error.
+type CCTILog struct {
+	Samples []CCTISample
+}
+
+// NewCCTILog returns an empty log.
+func NewCCTILog() *CCTILog { return &CCTILog{} }
+
+// Attach subscribes the log to CCTI changes.
+func (l *CCTILog) Attach(b *Bus) { b.Subscribe(l, KindCCTIChanged) }
+
+// Consume implements Consumer.
+func (l *CCTILog) Consume(e Event) {
+	if e.Kind != KindCCTIChanged {
+		return
+	}
+	l.Samples = append(l.Samples, CCTISample{Time: e.Time, Src: e.Src, Dst: e.Dst, Old: e.OldCCTI, New: e.NewCCTI})
+}
+
+// WriteTable renders the log bucketed on the given interval up to end:
+// per bucket the number of increases and decreases, the number of flows
+// holding congestion state at the bucket's close, and the max and mean
+// CCTI across them. The step sequence is replayed in order, so the
+// "flows/max/mean" columns are exact instantaneous state, not samples.
+func (l *CCTILog) WriteTable(w io.Writer, interval sim.Duration, end sim.Time) error {
+	if interval <= 0 {
+		return fmt.Errorf("obs: non-positive table interval")
+	}
+	if _, err := fmt.Fprintf(w, "%12s %8s %8s %8s %8s %8s\n",
+		"t", "incr", "decr", "flows", "maxCCTI", "meanCCTI"); err != nil {
+		return err
+	}
+	if n := len(l.Samples); n > 0 && l.Samples[n-1].Time > end {
+		end = l.Samples[n-1].Time
+	}
+	state := make(map[ib.FlowKey]uint16)
+	i := 0
+	for t := sim.Time(0).Add(interval); ; t = t.Add(interval) {
+		var incr, decr int
+		for i < len(l.Samples) && l.Samples[i].Time <= t {
+			s := l.Samples[i]
+			if s.New > s.Old {
+				incr++
+			} else if s.New < s.Old {
+				decr++
+			}
+			key := ib.FlowKey{Src: s.Src, Dst: s.Dst}
+			if s.New == 0 {
+				delete(state, key)
+			} else {
+				state[key] = s.New
+			}
+			i++
+		}
+		var max uint16
+		var sum uint64
+		for _, c := range state {
+			if c > max {
+				max = c
+			}
+			sum += uint64(c)
+		}
+		mean := 0.0
+		if len(state) > 0 {
+			mean = float64(sum) / float64(len(state))
+		}
+		if _, err := fmt.Fprintf(w, "%12v %8d %8d %8d %8d %8.2f\n",
+			t, incr, decr, len(state), max, mean); err != nil {
+			return err
+		}
+		if t >= end {
+			return nil
+		}
+	}
+}
+
+var _ Consumer = (*CCTILog)(nil)

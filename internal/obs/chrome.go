@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ChromeTracer is a bus consumer emitting the Chrome trace_event JSON
+// format, so a simulation run opens directly in chrome://tracing or
+// Perfetto (ui.perfetto.dev). The mapping:
+//
+//   - every switch and every HCA is a process (pid); switch output
+//     ports are threads (tid) of their switch, so each port is its own
+//     track. Metadata events name them.
+//   - KindQueueSampled becomes a counter track ("C") per port/VL —
+//     the obuf occupancy curve of the paper's Figure 5 hotspot port.
+//   - KindCCTIChanged becomes a counter track per source CA — the
+//     throttle depth over time.
+//   - packet sends, deliveries, FECN marks, BECN returns and credit
+//     stalls become instant events ("i") on their port's track.
+//
+// Timestamps are microseconds of simulated time. Close finalizes the
+// JSON document; the output is invalid until it runs.
+type ChromeTracer struct {
+	w     *bufio.Writer
+	err   error
+	first bool
+	n     uint64
+	// named tracks whose metadata was already emitted
+	procs map[int]bool
+	thrds map[[2]int]bool
+}
+
+// Switch and host ids share the pid space; hosts keep their LID and
+// switches are offset, matching nothing else in the model so collisions
+// are impossible.
+const chromeSwitchPIDBase = 1 << 20
+
+// NewChromeTracer starts a trace document on w.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	t := &ChromeTracer{
+		w:     bufio.NewWriterSize(w, 64<<10),
+		first: true,
+		procs: make(map[int]bool),
+		thrds: make(map[[2]int]bool),
+	}
+	_, t.err = t.w.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	return t
+}
+
+// Attach subscribes the tracer to every kind it renders.
+func (t *ChromeTracer) Attach(b *Bus) {
+	b.Subscribe(t, KindPacketSent, KindPacketDelivered, KindFECNMarked,
+		KindBECNReturned, KindCCTIChanged, KindCreditStalled, KindQueueSampled)
+}
+
+// Events returns how many trace events were emitted (excluding
+// metadata).
+func (t *ChromeTracer) Events() uint64 { return t.n }
+
+func (t *ChromeTracer) emit(s string) {
+	if t.err != nil {
+		return
+	}
+	if !t.first {
+		if _, t.err = t.w.WriteString(","); t.err != nil {
+			return
+		}
+	}
+	t.first = false
+	_, t.err = t.w.WriteString(s)
+}
+
+// pid maps an event location to a trace process id, emitting the
+// process metadata on first sight.
+func (t *ChromeTracer) pid(sw bool, node int) int {
+	pid := node
+	name := fmt.Sprintf("hca %d", node)
+	if sw {
+		pid = chromeSwitchPIDBase + node
+		name = fmt.Sprintf("switch %d", node)
+	}
+	if !t.procs[pid] {
+		t.procs[pid] = true
+		t.emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}`, pid, name))
+	}
+	return pid
+}
+
+// tid names a port track within its process on first sight.
+func (t *ChromeTracer) tid(pid, port int, hostPort bool) int {
+	key := [2]int{pid, port}
+	if !t.thrds[key] {
+		t.thrds[key] = true
+		name := fmt.Sprintf("port %d", port)
+		if hostPort {
+			name += " (host-facing)"
+		}
+		t.emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`, pid, port, name))
+	}
+	return port
+}
+
+// Consume implements Consumer.
+func (t *ChromeTracer) Consume(e Event) {
+	if t.err != nil {
+		return
+	}
+	ts := e.Time.Seconds() * 1e6
+	pid := t.pid(e.Switch, e.Node)
+	tid := t.tid(pid, e.Port, e.HostPort)
+	switch e.Kind {
+	case KindQueueSampled:
+		t.emit(fmt.Sprintf(
+			`{"name":"qbytes p%d vl%d","ph":"C","ts":%.4f,"pid":%d,"args":{"bytes":%d}}`,
+			e.Port, e.VL, ts, pid, e.QueuedBytes))
+	case KindCCTIChanged:
+		t.emit(fmt.Sprintf(
+			`{"name":"ccti dst%d","ph":"C","ts":%.4f,"pid":%d,"args":{"ccti":%d}}`,
+			e.Dst, ts, pid, e.NewCCTI))
+	case KindPacketSent, KindPacketDelivered:
+		name := "tx"
+		if e.Kind == KindPacketDelivered {
+			name = "rx"
+		}
+		t.emit(fmt.Sprintf(
+			`{"name":"%s %s %d->%d","ph":"i","s":"t","ts":%.4f,"pid":%d,"tid":%d,"args":{"bytes":%d,"fecn":%v}}`,
+			name, e.Type, e.Src, e.Dst, ts, pid, tid, e.Bytes, e.FECN))
+	case KindFECNMarked:
+		t.emit(fmt.Sprintf(
+			`{"name":"FECN %d->%d","ph":"i","s":"p","ts":%.4f,"pid":%d,"tid":%d,"args":{"queued":%d,"credits":%d}}`,
+			e.Src, e.Dst, ts, pid, tid, e.QueuedBytes, e.CreditBytes))
+	case KindBECNReturned:
+		t.emit(fmt.Sprintf(
+			`{"name":"BECN flow %d->%d","ph":"i","s":"p","ts":%.4f,"pid":%d,"tid":%d}`,
+			e.Src, e.Dst, ts, pid, tid))
+	case KindCreditStalled:
+		t.emit(fmt.Sprintf(
+			`{"name":"stall vl%d","ph":"i","s":"t","ts":%.4f,"pid":%d,"tid":%d,"args":{"credits":%d,"need":%d}}`,
+			e.VL, ts, pid, tid, e.CreditBytes, e.Bytes))
+	default:
+		return
+	}
+	t.n++
+}
+
+// Close terminates the JSON document and flushes it.
+func (t *ChromeTracer) Close() error {
+	if t.err == nil {
+		_, t.err = t.w.WriteString("]}\n")
+	}
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+var _ Consumer = (*ChromeTracer)(nil)

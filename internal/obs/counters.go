@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortKey addresses one switch output port.
+type PortKey struct {
+	Switch int
+	Port   int
+}
+
+func (k PortKey) String() string { return fmt.Sprintf("sw%d.p%d", k.Switch, k.Port) }
+
+// PortCounters accumulates the flight-recorder counters of one switch
+// output port.
+type PortCounters struct {
+	// FECNMarks counts data packets FECN-marked at this port.
+	FECNMarks uint64
+	// CreditStalls counts failed grant attempts for lack of downstream
+	// credits.
+	CreditStalls uint64
+	// PeakQueuedBytes is the highest queued-byte depth observed on any
+	// VL of the port.
+	PeakQueuedBytes int
+	// FwdPackets counts packets put on the wire.
+	FwdPackets uint64
+	// FwdBytesVL counts wire bytes forwarded per VL.
+	FwdBytesVL []uint64
+	// HostPort reports whether the port faces an HCA (learned from the
+	// first event that says so).
+	HostPort bool
+}
+
+// Registry is a bus consumer maintaining per-switch-port counters. Ports
+// materialize lazily on their first event, so an idle port costs
+// nothing. Subscribe it with Attach.
+type Registry struct {
+	numVLs int
+	ports  map[PortKey]*PortCounters
+}
+
+// NewRegistry returns a registry for fabrics with numVLs virtual lanes.
+func NewRegistry(numVLs int) *Registry {
+	if numVLs < 1 {
+		numVLs = 1
+	}
+	return &Registry{numVLs: numVLs, ports: make(map[PortKey]*PortCounters)}
+}
+
+// Attach subscribes the registry to the kinds it consumes.
+func (r *Registry) Attach(b *Bus) {
+	b.Subscribe(r, KindPacketSent, KindFECNMarked, KindCreditStalled, KindQueueSampled)
+}
+
+func (r *Registry) port(sw, port int, hostPort bool) *PortCounters {
+	k := PortKey{Switch: sw, Port: port}
+	c := r.ports[k]
+	if c == nil {
+		c = &PortCounters{FwdBytesVL: make([]uint64, r.numVLs)}
+		r.ports[k] = c
+	}
+	if hostPort {
+		c.HostPort = true
+	}
+	return c
+}
+
+// Consume implements Consumer.
+func (r *Registry) Consume(e Event) {
+	if !e.Switch {
+		return // HCA-side events carry no switch port
+	}
+	switch e.Kind {
+	case KindPacketSent:
+		c := r.port(e.Node, e.Port, false)
+		c.FwdPackets++
+		if int(e.VL) < len(c.FwdBytesVL) {
+			c.FwdBytesVL[e.VL] += uint64(e.Bytes)
+		}
+	case KindFECNMarked:
+		r.port(e.Node, e.Port, e.HostPort).FECNMarks++
+	case KindCreditStalled:
+		r.port(e.Node, e.Port, false).CreditStalls++
+	case KindQueueSampled:
+		c := r.port(e.Node, e.Port, e.HostPort)
+		if e.QueuedBytes > c.PeakQueuedBytes {
+			c.PeakQueuedBytes = e.QueuedBytes
+		}
+	}
+}
+
+// Port returns the counters of (sw, port), or nil when the port never
+// produced an event.
+func (r *Registry) Port(sw, port int) *PortCounters {
+	return r.ports[PortKey{Switch: sw, Port: port}]
+}
+
+// Ports returns the keys of every materialized port in (switch, port)
+// order.
+func (r *Registry) Ports() []PortKey {
+	out := make([]PortKey, 0, len(r.ports))
+	for k := range r.ports {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Switch != out[j].Switch {
+			return out[i].Switch < out[j].Switch
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Totals sums the counters across all ports.
+func (r *Registry) Totals() (marks, stalls, fwdPackets uint64, fwdBytes uint64) {
+	for _, c := range r.ports {
+		marks += c.FECNMarks
+		stalls += c.CreditStalls
+		fwdPackets += c.FwdPackets
+		for _, b := range c.FwdBytesVL {
+			fwdBytes += b
+		}
+	}
+	return
+}
+
+// HottestPort returns the port with the most FECN marks (ties broken by
+// key order), or a zero key and nil when nothing was marked.
+func (r *Registry) HottestPort() (PortKey, *PortCounters) {
+	var bestK PortKey
+	var best *PortCounters
+	for _, k := range r.Ports() {
+		c := r.ports[k]
+		if best == nil || c.FECNMarks > best.FECNMarks {
+			bestK, best = k, c
+		}
+	}
+	if best == nil || best.FECNMarks == 0 {
+		return PortKey{}, nil
+	}
+	return bestK, best
+}
+
+var _ Consumer = (*Registry)(nil)

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ib"
+)
+
+// synthTree drives a synthetic two-tree event history through the
+// analyzer: hotspot 9 rooted at switch 0 port 1 (host-facing) with a
+// branch at switch 2 port 0; hotspot 20 rooted at switch 5 port 3; and
+// victim flows 3->4 and 6->7 that carried data but were never part of
+// the FECN topology.
+func synthTree(a *TreeAnalyzer) {
+	b := New()
+	a.Attach(b)
+
+	send := func(src, dst ib.LID) {
+		p := pkt(src, dst)
+		b.PacketSent(0, false, int(src), 0, p)
+	}
+	mark := func(sw, port int, host bool, src, dst ib.LID, queued int) {
+		p := pkt(src, dst)
+		p.FECN = true
+		b.FECNMarked(0, sw, port, host, p, queued, 64)
+	}
+
+	// Tree 9: contributors 1, 2, 5.
+	for _, src := range []ib.LID{1, 2, 5} {
+		send(src, 9)
+	}
+	mark(0, 1, true, 1, 9, 30000)
+	mark(0, 1, true, 2, 9, 31000)
+	mark(0, 1, true, 5, 9, 32000)
+	mark(2, 0, false, 5, 9, 12000) // congestion spread: branch port
+	b.BECNReturned(0, 1, 9, nil)
+	b.BECNReturned(0, 2, 9, nil)
+	b.CCTIChanged(0, 1, 9, 0, 4)
+	b.CCTIChanged(0, 2, 9, 0, 9)
+
+	// Tree 20: contributor 6, marked enough to clear the significance
+	// cut next to tree 9.
+	send(6, 20)
+	mark(5, 3, true, 6, 20, 20000)
+	mark(5, 3, true, 6, 20, 21000)
+	mark(5, 3, true, 6, 20, 22000)
+	b.BECNReturned(0, 6, 20, nil)
+	b.CCTIChanged(0, 6, 20, 0, 2)
+
+	// Victims: pure uniform senders.
+	send(3, 4)
+	send(6, 7)
+
+	// Queue samples refine branch peak depth.
+	b.QueueSampled(0, 2, 0, false, 0, 15000)
+	b.QueueSampled(0, 3, 3, false, 0, 9999) // unmarked port: no tree membership
+}
+
+func TestTreeReconstruction(t *testing.T) {
+	a := NewTreeAnalyzer()
+	synthTree(a)
+	rep := a.Report()
+
+	if len(rep.Trees) != 2 {
+		t.Fatalf("trees = %d", len(rep.Trees))
+	}
+	// Sorted by marks: tree 9 (4 marks) first.
+	t9 := rep.Trees[0]
+	if t9.Dst != 9 || t9.Marks != 4 {
+		t.Fatalf("tree 0 = %+v", t9)
+	}
+	if t9.Root.Key != (PortKey{0, 1}) || !t9.Root.HostPort {
+		t.Fatalf("tree 9 root = %+v", t9.Root)
+	}
+	if len(t9.Branches) != 1 || t9.Branches[0].Key != (PortKey{2, 0}) {
+		t.Fatalf("tree 9 branches = %+v", t9.Branches)
+	}
+	if t9.Branches[0].PeakQueuedBytes != 15000 {
+		t.Fatalf("branch peak = %d", t9.Branches[0].PeakQueuedBytes)
+	}
+	if len(t9.Contributors) != 3 || t9.BECNs != 2 || t9.MaxCCTI != 9 {
+		t.Fatalf("tree 9 flows = %+v", t9)
+	}
+	t20 := rep.Trees[1]
+	if t20.Dst != 20 || t20.Marks != 3 || t20.Root.Key != (PortKey{5, 3}) || len(t20.Branches) != 0 {
+		t.Fatalf("tree 20 = %+v", t20)
+	}
+	if len(rep.Minor) != 0 {
+		t.Fatalf("minor trees = %+v", rep.Minor)
+	}
+
+	if !rep.HotspotSet()[9] || !rep.HotspotSet()[20] || rep.HotspotSet()[4] {
+		t.Fatalf("hotspot set = %v", rep.HotspotSet())
+	}
+}
+
+func TestFlowClassification(t *testing.T) {
+	a := NewTreeAnalyzer()
+	synthTree(a)
+	rep := a.Report()
+
+	want := map[ib.FlowKey]FlowClass{
+		{Src: 1, Dst: 9}:  FlowContributor,
+		{Src: 2, Dst: 9}:  FlowContributor,
+		{Src: 5, Dst: 9}:  FlowContributor,
+		{Src: 6, Dst: 20}: FlowContributor,
+		{Src: 3, Dst: 4}:  FlowVictim,
+		{Src: 6, Dst: 7}:  FlowVictim,
+	}
+	for f, cls := range want {
+		if got := rep.Class(f); got != cls {
+			t.Fatalf("flow %v = %v, want %v", f, got, cls)
+		}
+	}
+	if rep.Class(ib.FlowKey{Src: 99, Dst: 100}) != FlowUnknown {
+		t.Fatal("unobserved flow classified")
+	}
+	if rep.Contributors != 4 || rep.Victims != 2 {
+		t.Fatalf("counts = %d/%d", rep.Contributors, rep.Victims)
+	}
+	// Source 6 contributes to tree 20 and is also a victim on 6->7.
+	if rep.ContributorSrcs != 4 || rep.VictimSrcs != 2 {
+		t.Fatalf("source counts = %d/%d", rep.ContributorSrcs, rep.VictimSrcs)
+	}
+}
+
+func TestTreeReportWrite(t *testing.T) {
+	a := NewTreeAnalyzer()
+	synthTree(a)
+	var sb strings.Builder
+	if _, err := a.Report().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"congestion trees: 2",
+		"4 contributors / 2 victims",
+		"dst 9: root sw0.p1 (host-facing)",
+		"branch sw2.p0",
+		"dst 20: root sw5.p3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSignificanceCut(t *testing.T) {
+	a := NewTreeAnalyzer()
+	b := New()
+	a.Attach(b)
+
+	mark := func(sw int, src, dst ib.LID, times int) {
+		for i := 0; i < times; i++ {
+			p := pkt(src, dst)
+			p.FECN = true
+			b.FECNMarked(0, sw, 0, true, p, 30000, 64)
+		}
+	}
+	// Two sustained trees and two transiently marked destinations an
+	// order of magnitude below them.
+	b.PacketSent(0, false, 1, 0, pkt(1, 9))
+	b.PacketSent(0, false, 2, 0, pkt(2, 20))
+	b.PacketSent(0, false, 3, 0, pkt(3, 30))
+	mark(0, 1, 9, 40)
+	mark(1, 2, 20, 35)
+	mark(2, 3, 30, 3)
+	mark(3, 4, 31, 1)
+
+	rep := a.Report()
+	if len(rep.Trees) != 2 || rep.Trees[0].Dst != 9 || rep.Trees[1].Dst != 20 {
+		t.Fatalf("trees = %+v", rep.Trees)
+	}
+	if len(rep.Minor) != 2 || rep.Minor[0].Dst != 30 || rep.Minor[1].Dst != 31 {
+		t.Fatalf("minor = %+v", rep.Minor)
+	}
+	// Flows to minor destinations are victims, not contributors.
+	if rep.Class(ib.FlowKey{Src: 3, Dst: 30}) != FlowVictim {
+		t.Fatalf("minor-dst flow = %v", rep.Class(ib.FlowKey{Src: 3, Dst: 30}))
+	}
+	if rep.Class(ib.FlowKey{Src: 1, Dst: 9}) != FlowContributor {
+		t.Fatal("sustained-tree flow not a contributor")
+	}
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 transiently marked destinations") {
+		t.Fatalf("report missing minor summary:\n%s", sb.String())
+	}
+
+	// A candidate set with no wide gap is kept whole: comparable trees
+	// must not be cut even when the count is large.
+	a2 := NewTreeAnalyzer()
+	b2 := New()
+	a2.Attach(b2)
+	for i := 0; i < 8; i++ {
+		dst := ib.LID(40 + i)
+		for j := 0; j < 20+3*i; j++ {
+			p := pkt(ib.LID(i), dst)
+			p.FECN = true
+			b2.FECNMarked(0, i, 0, true, p, 30000, 64)
+		}
+	}
+	rep2 := a2.Report()
+	if len(rep2.Trees) != 8 || len(rep2.Minor) != 0 {
+		t.Fatalf("comparable trees cut: %d kept, %d minor", len(rep2.Trees), len(rep2.Minor))
+	}
+}
+
+func TestEmptyAnalyzer(t *testing.T) {
+	rep := NewTreeAnalyzer().Report()
+	if len(rep.Trees) != 0 || rep.Contributors != 0 || rep.Victims != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "congestion trees: 0") {
+		t.Fatalf("empty render = %q", sb.String())
+	}
+}
+
+func TestFlowClassStrings(t *testing.T) {
+	if FlowContributor.String() != "contributor" || FlowVictim.String() != "victim" ||
+		FlowUnknown.String() != "unknown" {
+		t.Fatal("class strings wrong")
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/ib"
+)
+
+// JSONLWriter is a bus consumer streaming every event as one JSON line —
+// the raw flight-recorder log, greppable and loadable by any tooling.
+// Close flushes the underlying buffer; the first write error sticks and
+// is returned from Close.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   uint64
+}
+
+// eventJSON is the wire form of an Event. Zero-valued optional fields
+// are elided to keep lines short.
+type eventJSON struct {
+	Kind     string  `json:"kind"`
+	TimeUS   float64 `json:"t_us"`
+	Switch   bool    `json:"switch,omitempty"`
+	Node     int     `json:"node"`
+	Port     int     `json:"port,omitempty"`
+	VL       ib.VL   `json:"vl,omitempty"`
+	HostPort bool    `json:"host_port,omitempty"`
+
+	PktID   uint64 `json:"pkt,omitempty"`
+	PktType string `json:"type,omitempty"`
+	Src     ib.LID `json:"src,omitempty"`
+	Dst     ib.LID `json:"dst,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	FECN    bool   `json:"fecn,omitempty"`
+	BECN    bool   `json:"becn,omitempty"`
+	Hotspot bool   `json:"hotspot,omitempty"`
+
+	QueuedBytes int    `json:"queued,omitempty"`
+	CreditBytes int    `json:"credits,omitempty"`
+	OldCCTI     uint16 `json:"ccti_old,omitempty"`
+	NewCCTI     uint16 `json:"ccti_new,omitempty"`
+}
+
+// NewJSONLWriter returns a writer streaming to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Attach subscribes the writer to every kind.
+func (j *JSONLWriter) Attach(b *Bus) { b.Subscribe(j) }
+
+// Consume implements Consumer.
+func (j *JSONLWriter) Consume(e Event) {
+	if j.err != nil {
+		return
+	}
+	rec := eventJSON{
+		Kind:        e.Kind.String(),
+		TimeUS:      e.Time.Seconds() * 1e6,
+		Switch:      e.Switch,
+		Node:        e.Node,
+		Port:        e.Port,
+		VL:          e.VL,
+		HostPort:    e.HostPort,
+		PktID:       e.PktID,
+		Src:         e.Src,
+		Dst:         e.Dst,
+		Bytes:       e.Bytes,
+		FECN:        e.FECN,
+		BECN:        e.BECN,
+		Hotspot:     e.Hotspot,
+		QueuedBytes: e.QueuedBytes,
+		CreditBytes: e.CreditBytes,
+		OldCCTI:     e.OldCCTI,
+		NewCCTI:     e.NewCCTI,
+	}
+	// The packet type is meaningful only on packet-scoped events.
+	switch e.Kind {
+	case KindPacketSent, KindPacketDelivered, KindFECNMarked, KindBECNReturned:
+		rec.PktType = e.Type.String()
+	}
+	j.err = j.enc.Encode(&rec)
+	if j.err == nil {
+		j.n++
+	}
+}
+
+// Events returns how many events were written.
+func (j *JSONLWriter) Events() uint64 { return j.n }
+
+// Close flushes buffered output and returns the first error seen.
+func (j *JSONLWriter) Close() error {
+	if err := j.w.Flush(); j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+var _ Consumer = (*JSONLWriter)(nil)

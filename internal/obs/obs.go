@@ -1,0 +1,263 @@
+// Package obs is the simulation flight recorder: a typed event bus the
+// fabric and the congestion-control manager publish to, plus consumers
+// that turn the event stream into artifacts — per-switch-port counters,
+// a JSONL event log, a Chrome trace_event export viewable in Perfetto,
+// and a congestion-tree analyzer that labels contributor and victim
+// flows from the FECN topology.
+//
+// The bus is built so that a simulation with observability disabled pays
+// nothing for it: every publish helper is a method on a possibly-nil
+// *Bus that returns before constructing the event unless the kind has a
+// subscriber, so the packet-forward hot path adds a nil check and a
+// mask test but no allocation (BenchmarkBusDisabled asserts this).
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Kind enumerates the event types the simulation publishes.
+type Kind uint8
+
+const (
+	// KindPacketSent fires when a link transmitter (HCA send port or
+	// switch output port) puts a packet on the wire.
+	KindPacketSent Kind = iota
+	// KindPacketDelivered fires when a host sink consumes a packet.
+	KindPacketDelivered
+	// KindFECNMarked fires when the CC manager FECN-marks a data packet
+	// at a switch output Port VL.
+	KindFECNMarked
+	// KindBECNReturned fires when a source CA consumes a BECN (the end
+	// of the FECN→CNP/ACK→BECN notification loop).
+	KindBECNReturned
+	// KindCCTIChanged fires when a flow's congestion control table
+	// index moves: up on a BECN, down on a recovery-timer tick.
+	KindCCTIChanged
+	// KindCreditStalled fires when a transmitter has a packet ready but
+	// the downstream VL lacks credits for it — one event per failed
+	// grant attempt, so a long stall under event pressure repeats.
+	KindCreditStalled
+	// KindQueueSampled fires when a switch output Port VL's queued-byte
+	// count changes (a packet joins or leaves), carrying the new depth.
+	KindQueueSampled
+
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPacketSent:
+		return "packet_sent"
+	case KindPacketDelivered:
+		return "packet_delivered"
+	case KindFECNMarked:
+		return "fecn_marked"
+	case KindBECNReturned:
+		return "becn_returned"
+	case KindCCTIChanged:
+		return "ccti_changed"
+	case KindCreditStalled:
+		return "credit_stalled"
+	case KindQueueSampled:
+		return "queue_sampled"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one flight-recorder record. It is a flat value struct —
+// consumers receive it by value, so publishing never allocates. Fields
+// beyond Kind and Time are populated per kind; see the publish helpers.
+type Event struct {
+	Kind Kind
+	// Switch reports whether the location is a switch (Node = dense
+	// switch index) or a host (Node = LID, Port 0).
+	Switch bool
+	// Hotspot mirrors the packet's hotspot-destination marker.
+	Hotspot bool
+	// HostPort reports, for switch-port events, whether the port faces
+	// an HCA (where congestion-tree roots form).
+	HostPort bool
+	// FECN/BECN mirror the packet's notification bits at event time.
+	FECN, BECN bool
+	Type       ib.PacketType
+	VL         ib.VL
+
+	Time sim.Time
+	Node int
+	Port int
+
+	// Packet identity, for packet-scoped kinds.
+	PktID    uint64
+	Src, Dst ib.LID
+	// Bytes is the packet's wire size (or the bytes a stalled grant
+	// needed).
+	Bytes int
+
+	// QueuedBytes is the output Port VL queue depth: the depth joined
+	// (after enqueue) or left behind (after departure) for
+	// KindQueueSampled, and the depth that triggered the mark for
+	// KindFECNMarked.
+	QueuedBytes int
+	// CreditBytes is the downstream free space known to the
+	// transmitter (KindFECNMarked, KindCreditStalled).
+	CreditBytes int
+
+	// OldCCTI and NewCCTI bracket a KindCCTIChanged step.
+	OldCCTI, NewCCTI uint16
+}
+
+// Flow returns the event's flow identity.
+func (e *Event) Flow() ib.FlowKey { return ib.FlowKey{Src: e.Src, Dst: e.Dst} }
+
+// Consumer receives published events. Consume runs synchronously inside
+// the simulation event that published; it must not mutate model state.
+type Consumer interface {
+	Consume(e Event)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(e Event)
+
+// Consume implements Consumer.
+func (f ConsumerFunc) Consume(e Event) { f(e) }
+
+// Bus fans events out to subscribers, dispatching per kind. The zero
+// value is usable; a nil *Bus is a valid always-disabled bus, which is
+// how a simulation runs unobserved.
+type Bus struct {
+	mask uint32
+	subs [NumKinds][]Consumer
+}
+
+// New returns an empty bus.
+func New() *Bus { return &Bus{} }
+
+// Subscribe registers c for the given kinds (all kinds when none are
+// given). Subscription order is delivery order.
+func (b *Bus) Subscribe(c Consumer, kinds ...Kind) {
+	if len(kinds) == 0 {
+		for k := Kind(0); k < NumKinds; k++ {
+			kinds = append(kinds, k)
+		}
+	}
+	for _, k := range kinds {
+		b.subs[k] = append(b.subs[k], c)
+		b.mask |= 1 << k
+	}
+}
+
+// Wants reports whether any subscriber listens for kind k. Publishers
+// with expensive event construction may use it to skip work; the
+// standard helpers below already check it.
+func (b *Bus) Wants(k Kind) bool { return b != nil && b.mask&(1<<k) != 0 }
+
+// Publish delivers e to the subscribers of its kind.
+func (b *Bus) Publish(e Event) {
+	for _, c := range b.subs[e.Kind] {
+		c.Consume(e)
+	}
+}
+
+// packet copies the identity fields of p into e.
+func (e *Event) packet(p *ib.Packet) {
+	e.PktID = p.ID
+	e.Src, e.Dst = p.Src, p.Dst
+	e.Type = p.Type
+	e.VL = p.VL
+	e.Bytes = p.WireBytes()
+	e.FECN, e.BECN = p.FECN, p.BECN
+	e.Hotspot = p.Hotspot
+}
+
+// PacketSent publishes a wire transmission at (node, port); sw selects
+// the switch/host namespace for node.
+func (b *Bus) PacketSent(t sim.Time, sw bool, node, port int, p *ib.Packet) {
+	if b == nil || b.mask&(1<<KindPacketSent) == 0 {
+		return
+	}
+	e := Event{Kind: KindPacketSent, Time: t, Switch: sw, Node: node, Port: port}
+	e.packet(p)
+	b.Publish(e)
+}
+
+// PacketDelivered publishes a sink consumption at host lid.
+func (b *Bus) PacketDelivered(t sim.Time, lid ib.LID, p *ib.Packet) {
+	if b == nil || b.mask&(1<<KindPacketDelivered) == 0 {
+		return
+	}
+	e := Event{Kind: KindPacketDelivered, Time: t, Node: int(lid)}
+	e.packet(p)
+	b.Publish(e)
+}
+
+// FECNMarked publishes a FECN mark of p at switch sw port out, with the
+// queue depth and credit state that triggered it.
+func (b *Bus) FECNMarked(t sim.Time, sw, out int, hostPort bool, p *ib.Packet, queued, credits int) {
+	if b == nil || b.mask&(1<<KindFECNMarked) == 0 {
+		return
+	}
+	e := Event{
+		Kind: KindFECNMarked, Time: t, Switch: true, Node: sw, Port: out,
+		HostPort: hostPort, QueuedBytes: queued, CreditBytes: credits,
+	}
+	e.packet(p)
+	b.Publish(e)
+}
+
+// BECNReturned publishes the consumption of a BECN at source CA src,
+// throttling flow src→dst.
+func (b *Bus) BECNReturned(t sim.Time, src, dst ib.LID, p *ib.Packet) {
+	if b == nil || b.mask&(1<<KindBECNReturned) == 0 {
+		return
+	}
+	e := Event{Kind: KindBECNReturned, Time: t, Node: int(src), Src: src, Dst: dst}
+	if p != nil {
+		e.PktID, e.Type, e.VL = p.ID, p.Type, p.VL
+		e.Bytes = p.WireBytes()
+		e.FECN, e.BECN = p.FECN, p.BECN
+	}
+	b.Publish(e)
+}
+
+// CCTIChanged publishes a CCTI step of flow src→dst from old to new.
+// dst is the CA table key: the destination LID at QP-level CC, or -1
+// when CC operates per service level.
+func (b *Bus) CCTIChanged(t sim.Time, src, dst ib.LID, old, new uint16) {
+	if b == nil || b.mask&(1<<KindCCTIChanged) == 0 {
+		return
+	}
+	b.Publish(Event{
+		Kind: KindCCTIChanged, Time: t, Node: int(src), Src: src, Dst: dst,
+		OldCCTI: old, NewCCTI: new,
+	})
+}
+
+// CreditStalled publishes a failed grant: the transmitter at
+// (node, port) held a packet of wire size need on vl but only credits
+// bytes of downstream space.
+func (b *Bus) CreditStalled(t sim.Time, sw bool, node, port int, vl ib.VL, credits, need int) {
+	if b == nil || b.mask&(1<<KindCreditStalled) == 0 {
+		return
+	}
+	b.Publish(Event{
+		Kind: KindCreditStalled, Time: t, Switch: sw, Node: node, Port: port,
+		VL: vl, CreditBytes: credits, Bytes: need,
+	})
+}
+
+// QueueSampled publishes a switch output Port VL depth change.
+func (b *Bus) QueueSampled(t sim.Time, sw, port int, hostPort bool, vl ib.VL, queued int) {
+	if b == nil || b.mask&(1<<KindQueueSampled) == 0 {
+		return
+	}
+	b.Publish(Event{
+		Kind: KindQueueSampled, Time: t, Switch: true, Node: sw, Port: port,
+		HostPort: hostPort, VL: vl, QueuedBytes: queued,
+	})
+}

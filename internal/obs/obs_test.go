@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+func pkt(src, dst ib.LID) *ib.Packet {
+	return &ib.Packet{ID: 7, Type: ib.DataPacket, Src: src, Dst: dst, PayloadBytes: 2048}
+}
+
+func TestBusDispatchPerKind(t *testing.T) {
+	b := New()
+	var sent, marked, all int
+	b.Subscribe(ConsumerFunc(func(e Event) { sent++ }), KindPacketSent)
+	b.Subscribe(ConsumerFunc(func(e Event) { marked++ }), KindFECNMarked)
+	b.Subscribe(ConsumerFunc(func(e Event) { all++ }))
+
+	b.PacketSent(0, true, 3, 1, pkt(1, 2))
+	b.PacketSent(1, false, 4, 0, pkt(4, 2))
+	b.FECNMarked(2, 3, 1, true, pkt(1, 2), 9000, 100)
+	b.BECNReturned(3, 1, 2, nil)
+	b.CCTIChanged(4, 1, 2, 0, 4)
+	b.CreditStalled(5, true, 3, 1, 0, 10, 2094)
+	b.QueueSampled(6, 3, 1, false, 0, 4096)
+	b.PacketDelivered(7, 2, pkt(1, 2))
+
+	if sent != 2 || marked != 1 || all != 8 {
+		t.Fatalf("dispatch counts sent=%d marked=%d all=%d", sent, marked, all)
+	}
+}
+
+func TestBusEventFields(t *testing.T) {
+	b := New()
+	var got []Event
+	b.Subscribe(ConsumerFunc(func(e Event) { got = append(got, e) }))
+
+	p := pkt(5, 9)
+	p.FECN = true
+	b.FECNMarked(42, 2, 6, true, p, 12000, 64)
+	b.CCTIChanged(43, 5, 9, 3, 7)
+
+	if len(got) != 2 {
+		t.Fatalf("events = %d", len(got))
+	}
+	m := got[0]
+	if m.Kind != KindFECNMarked || !m.Switch || m.Node != 2 || m.Port != 6 ||
+		!m.HostPort || m.Src != 5 || m.Dst != 9 || m.QueuedBytes != 12000 ||
+		m.CreditBytes != 64 || !m.FECN || m.Time != 42 {
+		t.Fatalf("mark event = %+v", m)
+	}
+	if f := m.Flow(); f.Src != 5 || f.Dst != 9 {
+		t.Fatalf("flow = %v", f)
+	}
+	c := got[1]
+	if c.Kind != KindCCTIChanged || c.OldCCTI != 3 || c.NewCCTI != 7 || c.Node != 5 {
+		t.Fatalf("ccti event = %+v", c)
+	}
+}
+
+func TestNilBusIsDisabled(t *testing.T) {
+	var b *Bus
+	if b.Wants(KindPacketSent) {
+		t.Fatal("nil bus wants events")
+	}
+	// Every helper must be a no-op on a nil bus.
+	b.PacketSent(0, true, 0, 0, pkt(0, 1))
+	b.PacketDelivered(0, 0, pkt(0, 1))
+	b.FECNMarked(0, 0, 0, false, pkt(0, 1), 0, 0)
+	b.BECNReturned(0, 0, 1, nil)
+	b.CCTIChanged(0, 0, 1, 0, 1)
+	b.CreditStalled(0, false, 0, 0, 0, 0, 0)
+	b.QueueSampled(0, 0, 0, false, 0, 0)
+}
+
+func TestWantsFollowsSubscriptions(t *testing.T) {
+	b := New()
+	if b.Wants(KindPacketSent) {
+		t.Fatal("fresh bus wants events")
+	}
+	b.Subscribe(ConsumerFunc(func(Event) {}), KindQueueSampled)
+	if !b.Wants(KindQueueSampled) || b.Wants(KindPacketSent) {
+		t.Fatal("mask wrong after subscribe")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") || seen[s] {
+			t.Fatalf("kind %d string %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+// forwardPath mimics the per-hop publish sequence of the fabric's
+// packet-forward path: an enqueue sample, a departure sample, a wire
+// transmission, and the occasional stall probe.
+func forwardPath(b *Bus, p *ib.Packet, t sim.Time) {
+	b.QueueSampled(t, 3, 1, false, p.VL, 4096)
+	b.QueueSampled(t, 3, 1, false, p.VL, 2048)
+	b.PacketSent(t, true, 3, 1, p)
+	b.CreditStalled(t, true, 3, 2, p.VL, 10, 2094)
+	b.PacketDelivered(t, p.Dst, p)
+}
+
+// TestDisabledBusAllocs enforces the flight recorder's core contract in
+// the ordinary test run: with no bus (and with a bus nobody subscribed
+// to) the forward-path publish sequence performs zero allocations.
+func TestDisabledBusAllocs(t *testing.T) {
+	p := pkt(1, 2)
+	var nilBus *Bus
+	if a := testing.AllocsPerRun(200, func() { forwardPath(nilBus, p, 5) }); a != 0 {
+		t.Fatalf("nil bus: %v allocs/op on the forward path", a)
+	}
+	empty := New()
+	if a := testing.AllocsPerRun(200, func() { forwardPath(empty, p, 5) }); a != 0 {
+		t.Fatalf("subscriber-less bus: %v allocs/op on the forward path", a)
+	}
+}
+
+// BenchmarkBusDisabled measures the disabled-bus overhead of the
+// packet-forward publish sequence; run with -benchmem to see the
+// enforced 0 allocs/op.
+func BenchmarkBusDisabled(b *testing.B) {
+	p := pkt(1, 2)
+	var bus *Bus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		forwardPath(bus, p, sim.Time(i))
+	}
+}
+
+// BenchmarkBusCounters is the enabled counterpart: the same sequence
+// fanned into the counter registry, for overhead comparison.
+func BenchmarkBusCounters(b *testing.B) {
+	bus := New()
+	NewRegistry(1).Attach(bus)
+	p := pkt(1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		forwardPath(bus, p, sim.Time(i))
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	b := New()
+	r := NewRegistry(2)
+	r.Attach(b)
+
+	p := pkt(1, 2)
+	b.PacketSent(1, true, 0, 3, p)
+	b.PacketSent(2, true, 0, 3, p)
+	p2 := pkt(1, 2)
+	p2.VL = 1
+	b.PacketSent(3, true, 0, 3, p2)
+	b.PacketSent(4, false, 7, 0, p) // host transmit: not a switch port
+	b.FECNMarked(5, 0, 3, true, p, 9000, 10)
+	b.CreditStalled(6, true, 0, 3, 0, 0, 2094)
+	b.QueueSampled(7, 0, 3, true, 0, 12345)
+	b.QueueSampled(8, 0, 3, true, 0, 99)
+	b.QueueSampled(9, 1, 0, false, 0, 5)
+
+	c := r.Port(0, 3)
+	if c == nil {
+		t.Fatal("port missing")
+	}
+	wire := uint64(p.WireBytes())
+	if c.FwdPackets != 3 || c.FwdBytesVL[0] != 2*wire || c.FwdBytesVL[1] != wire {
+		t.Fatalf("forward counters = %+v", c)
+	}
+	if c.FECNMarks != 1 || c.CreditStalls != 1 || c.PeakQueuedBytes != 12345 || !c.HostPort {
+		t.Fatalf("counters = %+v", c)
+	}
+	if got := r.Ports(); len(got) != 2 || got[0] != (PortKey{0, 3}) || got[1] != (PortKey{1, 0}) {
+		t.Fatalf("ports = %v", got)
+	}
+	marks, stalls, fp, fb := r.Totals()
+	if marks != 1 || stalls != 1 || fp != 3 || fb != 3*wire {
+		t.Fatalf("totals = %d %d %d %d", marks, stalls, fp, fb)
+	}
+	if k, hc := r.HottestPort(); hc == nil || k != (PortKey{0, 3}) {
+		t.Fatalf("hottest = %v %v", k, hc)
+	}
+}
+
+func TestRegistryHottestPortEmpty(t *testing.T) {
+	r := NewRegistry(1)
+	if _, c := r.HottestPort(); c != nil {
+		t.Fatal("hottest port on empty registry")
+	}
+}

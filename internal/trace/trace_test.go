@@ -84,11 +84,52 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
-func TestWriteCSVEmpty(t *testing.T) {
+func TestWriteCSVNoProbes(t *testing.T) {
+	// A recorder nothing was registered on still writes a valid (empty)
+	// table: header only, no error, no panic.
 	rec := NewRecorder(sim.New(), sim.Microsecond)
 	var sb strings.Builder
-	if err := rec.WriteCSV(&sb); err == nil {
-		t.Fatal("expected error with no series")
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "time_s\n" {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestWriteCSVNoSamples(t *testing.T) {
+	// Probes registered but the run never reached a sample point: the
+	// header names every series and there are no data rows.
+	simr := sim.New()
+	rec := NewRecorder(simr, sim.Millisecond)
+	rec.Probe("a", func() float64 { return 1 })
+	rec.Probe("b", func() float64 { return 2 })
+	rec.Start(sim.Time(10 * sim.Microsecond)) // shorter than one interval
+	simr.Run()
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "time_s,a,b\n" {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestSeriesAtBoundaries(t *testing.T) {
+	s := &Series{Interval: sim.Microsecond, Start: sim.Time(5 * sim.Microsecond)}
+	// The first sample lands one interval after Start, independent of
+	// how many values were recorded.
+	if got := s.At(0); got != sim.Time(6*sim.Microsecond) {
+		t.Fatalf("At(0) = %v", got)
+	}
+	s.Values = []float64{1, 2, 3}
+	if got := s.At(len(s.Values) - 1); got != sim.Time(8*sim.Microsecond) {
+		t.Fatalf("At(last) = %v", got)
+	}
+	// A zero-started series indexes the bare grid.
+	z := &Series{Interval: sim.Millisecond}
+	if z.At(0) != sim.Time(sim.Millisecond) || z.At(9) != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("zero-start grid: %v %v", z.At(0), z.At(9))
 	}
 }
 
