@@ -1,15 +1,15 @@
 # Tier-1 verification gate. `make check` is what CI and pre-merge runs:
-# formatting + vet + build + the full test suite under the race
-# detector, so the experiment harness's concurrency (internal/par,
-# internal/exp, the parallel sweep drivers) is race-checked on every
-# change.
+# formatting + vet + build (release and `-tags debug` ownership-checked
+# variants) + the full test suite under the race detector, so the
+# experiment harness's concurrency (internal/par, internal/exp, the
+# parallel sweep drivers) is race-checked on every change.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test race bench bench-obs paperbench clean
+.PHONY: check fmt-check vet build build-debug test race bench bench-obs bench-kernel paperbench clean
 
-check: fmt-check vet build race
+check: fmt-check vet build build-debug race
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +20,13 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# The debug build enables the packet-pool ownership checker (double
+# release panics, poisoned freed packets); its tests exercise the
+# checker itself.
+build-debug:
+	$(GO) build -tags debug ./...
+	$(GO) test -tags debug ./internal/ib ./internal/fabric ./internal/cc
 
 test:
 	$(GO) test ./...
@@ -34,6 +41,14 @@ bench:
 # 0 allocs/op, proving observability costs nothing when off.
 bench-obs:
 	$(GO) test ./internal/obs -bench=Bus -benchmem
+
+# Event kernel + packet lifecycle: the timing-wheel and pooled-packet
+# hot paths, written machine-readably (events/s, allocs, speedup over
+# the pinned pre-wheel baseline) to BENCH_kernel.json.
+bench-kernel:
+	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkKernel' -benchmem
+	$(GO) test ./internal/core -run '^$$' -bench BenchmarkPacketLifecycle -benchmem
+	$(GO) run ./cmd/paperbench -bench-kernel BENCH_kernel.json
 
 # Quick end-to-end smoke: one figure, parallel, with artifacts.
 paperbench:

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// The pre-PR event kernel (binary-heap FEL, heap-allocated packets;
+// commit 9e8294c) measured on this workload. The numbers are pinned so
+// every BENCH_kernel.json carries the comparison its speedup field is
+// computed against.
+const (
+	baselineCommit    = "9e8294c"
+	baselineSteadyNs  = 207.0 // BenchmarkKernelSteadyState, 4096 actors
+	baselineShallowNs = 88.0  // BenchmarkKernelShallow, 64 actors
+)
+
+// kernelReport is the machine-readable BENCH_kernel.json document.
+type kernelReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	CPUs        int    `json:"cpus"`
+
+	Baseline struct {
+		Commit            string  `json:"commit"`
+		FEL               string  `json:"fel"`
+		SteadyNsPerEvent  float64 `json:"steady_ns_per_event"`
+		SteadyEventsPerS  float64 `json:"steady_events_per_sec"`
+		ShallowNsPerEvent float64 `json:"shallow_ns_per_event"`
+	} `json:"baseline"`
+
+	Kernel struct {
+		FEL               string  `json:"fel"`
+		Actors            int     `json:"actors"`
+		Events            int64   `json:"events"`
+		WallNs            int64   `json:"wall_ns"`
+		NsPerEvent        float64 `json:"ns_per_event"`
+		EventsPerS        float64 `json:"events_per_sec"`
+		AllocsPerEvent    float64 `json:"allocs_per_event"`
+		ShallowNsPerEvent float64 `json:"shallow_ns_per_event"`
+	} `json:"kernel"`
+
+	Lifecycle struct {
+		Scenario      string  `json:"scenario"`
+		Packets       float64 `json:"packets"`
+		WallNs        int64   `json:"wall_ns"`
+		NsPerPacket   float64 `json:"ns_per_packet"`
+		AllocsPerPkt  float64 `json:"allocs_per_packet"`
+		PoolGets      uint64  `json:"pool_gets"`
+		PoolMisses    uint64  `json:"pool_misses"`
+		SteadyAllocs  uint64  `json:"steady_window_allocs"`
+		SteadyWindows int     `json:"steady_windows"`
+	} `json:"lifecycle"`
+
+	SpeedupSteady  float64 `json:"speedup_steady"`
+	SpeedupShallow float64 `json:"speedup_shallow"`
+}
+
+// mallocs returns the cumulative heap allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// benchKernelSteady runs the synthetic steady-state workload
+// (SteadyStateWorkload constructs and runs to its event budget) and
+// returns wall time and allocation count. Setup — the actor population
+// and the wheel — is included but amortizes to noise over the budget.
+func benchKernelSteady(actors int, events int64) (wall time.Duration, allocs uint64) {
+	a0 := mallocs()
+	start := time.Now()
+	sim.SteadyStateWorkload(actors, events, 1)
+	wall = time.Since(start)
+	return wall, mallocs() - a0
+}
+
+// runBenchKernel measures the event kernel and the pooled packet
+// lifecycle, then writes BENCH_kernel.json to path.
+func runBenchKernel(path string) error {
+	const (
+		steadyActors  = 4096
+		steadyEvents  = 20_000_000
+		shallowActors = 64
+		shallowEvents = 5_000_000
+	)
+
+	var rep kernelReport
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.GoVersion = runtime.Version()
+	rep.CPUs = runtime.NumCPU()
+
+	rep.Baseline.Commit = baselineCommit
+	rep.Baseline.FEL = "binary heap"
+	rep.Baseline.SteadyNsPerEvent = baselineSteadyNs
+	rep.Baseline.SteadyEventsPerS = 1e9 / baselineSteadyNs
+	rep.Baseline.ShallowNsPerEvent = baselineShallowNs
+
+	// Warm up the process (scheduler, heap) before timing.
+	benchKernelSteady(steadyActors, 2_000_000)
+
+	wall, allocs := benchKernelSteady(steadyActors, steadyEvents)
+	rep.Kernel.FEL = "timing wheel"
+	rep.Kernel.Actors = steadyActors
+	rep.Kernel.Events = steadyEvents
+	rep.Kernel.WallNs = wall.Nanoseconds()
+	rep.Kernel.NsPerEvent = float64(wall.Nanoseconds()) / float64(steadyEvents)
+	rep.Kernel.EventsPerS = float64(steadyEvents) / wall.Seconds()
+	rep.Kernel.AllocsPerEvent = float64(allocs) / float64(steadyEvents)
+
+	shWall, _ := benchKernelSteady(shallowActors, shallowEvents)
+	rep.Kernel.ShallowNsPerEvent = float64(shWall.Nanoseconds()) / float64(shallowEvents)
+
+	if err := benchLifecycle(&rep); err != nil {
+		return err
+	}
+
+	rep.SpeedupSteady = rep.Baseline.SteadyNsPerEvent / rep.Kernel.NsPerEvent
+	rep.SpeedupShallow = rep.Baseline.ShallowNsPerEvent / rep.Kernel.ShallowNsPerEvent
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("kernel : %.1f ns/event (%.2fM events/s), %.4f allocs/event — %.2fx over %s baseline\n",
+		rep.Kernel.NsPerEvent, rep.Kernel.EventsPerS/1e6, rep.Kernel.AllocsPerEvent,
+		rep.SpeedupSteady, baselineCommit)
+	fmt.Printf("shallow: %.1f ns/event — %.2fx over baseline\n",
+		rep.Kernel.ShallowNsPerEvent, rep.SpeedupShallow)
+	fmt.Printf("packets: %.0f ns/packet, %.4f allocs/packet (%d steady-window allocs over %d windows)\n",
+		rep.Lifecycle.NsPerPacket, rep.Lifecycle.AllocsPerPkt,
+		rep.Lifecycle.SteadyAllocs, rep.Lifecycle.SteadyWindows)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchLifecycle measures the pooled gen → fabric → sink path: a
+// radix-8 uniform-traffic scenario, warmed until every pool is primed,
+// then fixed simulated windows timed and allocation-counted.
+func benchLifecycle(rep *kernelReport) error {
+	const (
+		warm    = 1000 * sim.Microsecond
+		window  = 50 * sim.Microsecond
+		windows = 20
+	)
+	s := core.Default(8)
+	s.Name = "bench-lifecycle"
+	s.CCOn = false
+	in, err := core.Build(s)
+	if err != nil {
+		return err
+	}
+	simr := in.Net.Sim()
+	in.Net.Start()
+	simr.RunUntil(sim.Time(0).Add(warm))
+
+	rxBytes := func() uint64 {
+		var sum uint64
+		for lid := 0; lid < s.NumNodes(); lid++ {
+			sum += in.Net.HCA(ib.LID(lid)).Counters().RxDataPayload
+		}
+		return sum
+	}
+
+	pre := rxBytes()
+	a0 := mallocs()
+	start := time.Now()
+	end := simr.Now()
+	for i := 0; i < windows; i++ {
+		end = end.Add(window)
+		simr.RunUntil(end)
+	}
+	wall := time.Since(start)
+	allocs := mallocs() - a0
+	pkts := float64(rxBytes()-pre) / float64(ib.MTU)
+
+	rep.Lifecycle.Scenario = s.Name
+	rep.Lifecycle.Packets = pkts
+	rep.Lifecycle.WallNs = wall.Nanoseconds()
+	if pkts > 0 {
+		rep.Lifecycle.NsPerPacket = float64(wall.Nanoseconds()) / pkts
+		rep.Lifecycle.AllocsPerPkt = float64(allocs) / pkts
+	}
+	st := in.Net.PacketPool().Stats()
+	rep.Lifecycle.PoolGets = st.Gets
+	rep.Lifecycle.PoolMisses = st.Misses
+	rep.Lifecycle.SteadyAllocs = allocs
+	rep.Lifecycle.SteadyWindows = windows
+	return nil
+}

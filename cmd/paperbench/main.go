@@ -9,6 +9,7 @@
 //	paperbench -out results/        # persist + resume via JSON artifacts
 //	paperbench -cpuprofile cpu.pb   # profile the run (go tool pprof)
 //	paperbench -chrome-trace f5.trace -ctree  # flight-record the base scenario
+//	paperbench -bench-kernel BENCH_kernel.json  # event-kernel + packet-lifecycle benchmark
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -59,6 +60,7 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTTY(), "live progress line on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchK   = flag.String("bench-kernel", "", "benchmark the event kernel + packet lifecycle, write JSON here, then exit")
 		events   = flag.String("events", "", "flight-record the base scenario: JSONL event log to this file, then exit")
 		chrome   = flag.String("chrome-trace", "", "flight-record the base scenario: Chrome trace to this file, then exit")
 		ctree    = flag.Bool("ctree", false, "flight-record the base scenario: print its congestion trees, then exit")
@@ -68,6 +70,13 @@ func main() {
 	stopCPU := startCPUProfile(*cpuProf)
 	defer stopCPU()
 	defer writeMemProfile(*memProf)
+
+	if *benchK != "" {
+		if err := runBenchKernel(*benchK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	base := ibcc.DefaultScenario(*radix)
 	base.Seed = *seed

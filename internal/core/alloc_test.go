@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// allocScenario is the steady-state lifecycle workload: uniform traffic
+// on a radix-8 fat tree, observation and congestion control off, so the
+// only per-packet costs are the generator, the fabric, and the sink.
+func allocScenario() Scenario {
+	s := Default(8)
+	s.Name = "alloc-budget"
+	s.CCOn = false // the budget covers the data path: gen → fabric → sink
+	return s
+}
+
+// allocWarm runs the instance until every pool has reached steady state:
+// packet pool primed by sink releases, event pool at the pending
+// high-water mark, wheel slots, flow queues and staging rings grown to
+// their working sizes. Two full wheel wraps (~67 us each) plus flow-map
+// completion are comfortably inside 1 ms.
+const allocWarm = 1000 * sim.Microsecond
+
+// TestPacketLifecycleZeroAlloc is the PR's headline budget: after
+// warm-up, a steady-state data packet travels generator → fabric → sink
+// with zero heap allocations. Any regression — a closure on the hot
+// path, a pool bypass, an observability retain — fails the budget.
+func TestPacketLifecycleZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window simulation")
+	}
+	in, err := Build(allocScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simr := in.Net.Sim()
+	in.Net.Start()
+	simr.RunUntil(sim.Time(0).Add(allocWarm))
+
+	preEvents := simr.Processed()
+	end := simr.Now()
+	avg := testing.AllocsPerRun(10, func() {
+		end = end.Add(50 * sim.Microsecond)
+		simr.RunUntil(end)
+	})
+	if simr.Processed() == preEvents {
+		t.Fatal("measurement windows executed no events")
+	}
+	if avg != 0 {
+		t.Fatalf("steady state allocates: %.1f allocs per 50 us window, want 0", avg)
+	}
+
+	stats := in.Net.PacketPool().Stats()
+	if stats.Gets == 0 || stats.Puts == 0 {
+		t.Fatalf("packet pool unused: %+v", stats)
+	}
+}
+
+// BenchmarkPacketLifecycle measures the end-to-end per-packet cost of
+// the pooled lifecycle: wall time divided by data packets delivered
+// across fixed simulated windows. paperbench republishes the numbers in
+// BENCH_kernel.json.
+func BenchmarkPacketLifecycle(b *testing.B) {
+	in, err := Build(allocScenario())
+	if err != nil {
+		b.Fatal(err)
+	}
+	simr := in.Net.Sim()
+	in.Net.Start()
+	simr.RunUntil(sim.Time(0).Add(allocWarm))
+
+	rxBytes := func() uint64 {
+		var sum uint64
+		for lid := 0; lid < in.Scenario.NumNodes(); lid++ {
+			sum += in.Net.HCA(ib.LID(lid)).Counters().RxDataPayload
+		}
+		return sum
+	}
+
+	pre := rxBytes()
+	end := simr.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end = end.Add(10 * sim.Microsecond)
+		simr.RunUntil(end)
+	}
+	b.StopTimer()
+	pkts := float64(rxBytes()-pre) / float64(ib.MTU)
+	if pkts > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pkts, "ns/pkt")
+		b.ReportMetric(pkts/float64(b.N), "pkts/op")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The determinism golden test pins the exact simulation trajectory: the
+// aggregates of Table II and of one windy point at radix 12, plus an
+// order-sensitive digest of the full flight-recorder event stream, are
+// compared byte-for-byte against a golden file captured from the seed
+// implementation (binary-heap FEL, per-packet heap allocation). Any
+// kernel or memory-lifecycle optimization must leave every value
+// untouched: run with -update only when an intentional model change
+// alters the trajectory, and say so in the commit.
+var updateGolden = flag.Bool("update", false, "rewrite the determinism golden file")
+
+const goldenPath = "testdata/determinism_golden.json"
+
+// goldenRecord is the serialized trajectory fingerprint. Float fields
+// are formatted to 12 significant digits at comparison time, so the file
+// is stable across encoding details.
+type goldenRecord struct {
+	// TableII rows at radix 12 (reduced windows).
+	TableII map[string]string `json:"table_ii"`
+	// Windy point (B=25%, p=60) with CC on, flight recorder attached.
+	WindySummary map[string]string `json:"windy_summary"`
+	WindyEvents  uint64            `json:"windy_events"`
+	// ObsDigest is the FNV-1a digest over every flight-recorder event's
+	// fields in publication order.
+	ObsDigest  string `json:"obs_digest"`
+	ObsRecords uint64 `json:"obs_records"`
+	// CC activity counters of the windy run.
+	FECNMarked   uint64 `json:"fecn_marked"`
+	BECNReceived uint64 `json:"becn_received"`
+	CNPSent      uint64 `json:"cnp_sent"`
+}
+
+// goldenBase is the reduced-window radix-12 scenario the golden
+// trajectories run on.
+func goldenBase() Scenario {
+	s := Default(12)
+	s.Warmup = 400 * sim.Microsecond
+	s.Measure = 800 * sim.Microsecond
+	return s
+}
+
+func g9(v float64) string { return fmt.Sprintf("%.12g", v) }
+
+// eventDigest hashes every published event field-by-field in a fixed
+// order, so two runs agree iff their event streams are identical in
+// content and order.
+type eventDigest struct {
+	h   hash.Hash64
+	n   uint64
+	buf [8]byte
+}
+
+func newEventDigest() *eventDigest {
+	return &eventDigest{h: fnv.New64a()}
+}
+
+func (d *eventDigest) hash8(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.buf[i] = byte(v >> (8 * i))
+	}
+	d.h.Write(d.buf[:])
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Consume implements obs.Consumer.
+func (d *eventDigest) Consume(e obs.Event) {
+	d.n++
+	d.hash8(uint64(e.Kind))
+	d.hash8(b2u(e.Switch) | b2u(e.Hotspot)<<1 | b2u(e.HostPort)<<2 | b2u(e.FECN)<<3 | b2u(e.BECN)<<4)
+	d.hash8(uint64(e.Type))
+	d.hash8(uint64(e.VL))
+	d.hash8(uint64(e.Time))
+	d.hash8(uint64(int64(e.Node)))
+	d.hash8(uint64(int64(e.Port)))
+	d.hash8(e.PktID)
+	d.hash8(uint64(int64(e.Src)))
+	d.hash8(uint64(int64(e.Dst)))
+	d.hash8(uint64(int64(e.Bytes)))
+	d.hash8(uint64(int64(e.QueuedBytes)))
+	d.hash8(uint64(int64(e.CreditBytes)))
+	d.hash8(uint64(e.OldCCTI)<<16 | uint64(e.NewCCTI))
+}
+
+// buildGolden runs the golden workloads and assembles the record.
+func buildGolden(t *testing.T) *goldenRecord {
+	t.Helper()
+	base := goldenBase()
+
+	tab, err := RunTableII(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &goldenRecord{
+		TableII: map[string]string{
+			"no_hotspots_no_cc": g9(tab.NoHotspotsNoCC),
+			"no_hotspots_cc":    g9(tab.NoHotspotsCC),
+			"hotspots_no_cc_h":  g9(tab.HotspotsNoCC.Hot),
+			"hotspots_no_cc_n":  g9(tab.HotspotsNoCC.NonHot),
+			"hotspots_cc_h":     g9(tab.HotspotsCC.Hot),
+			"hotspots_cc_n":     g9(tab.HotspotsCC.NonHot),
+			"total_no_cc":       g9(tab.TotalNoCC),
+			"total_cc":          g9(tab.TotalCC),
+		},
+	}
+
+	// One windy point, flight recorder attached: the digest covers the
+	// complete ordered event stream, so it pins not just the aggregates
+	// but the entire observable trajectory.
+	s := base
+	s.FracBPct = 25
+	s.PPercent = 60
+	s.CNodesActive = true
+	s.CCOn = true
+	s.Name = "golden windy B=25% p=60 ccOn"
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := in.Observe(ObserveOpts{})
+	dig := newEventDigest()
+	ob.Bus.Subscribe(dig)
+	res := in.Execute()
+
+	rec.WindySummary = map[string]string{
+		"hot":    g9(res.Summary.HotspotAvgGbps),
+		"nonhot": g9(res.Summary.NonHotspotAvgGbps),
+		"all":    g9(res.Summary.AllAvgGbps),
+		"total":  g9(res.Summary.TotalGbps),
+	}
+	rec.WindyEvents = res.Events
+	rec.ObsDigest = fmt.Sprintf("%016x", dig.h.Sum64())
+	rec.ObsRecords = dig.n
+	rec.FECNMarked = res.CCStats.FECNMarked
+	rec.BECNReceived = res.CCStats.BECNReceived
+	rec.CNPSent = res.CCStats.CNPSent
+	return rec
+}
+
+// TestDeterminismGolden verifies the simulation trajectory is
+// byte-identical to the recorded seed trajectory across the whole
+// stack: kernel event order, packet lifecycle, CC behaviour and the
+// flight-recorder stream.
+func TestDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trajectory run is not short")
+	}
+	got := buildGolden(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	var want goldenRecord
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for k, w := range want.TableII {
+		if g := got.TableII[k]; g != w {
+			t.Errorf("Table II %s: got %s, golden %s", k, g, w)
+		}
+	}
+	for k, w := range want.WindySummary {
+		if g := got.WindySummary[k]; g != w {
+			t.Errorf("windy %s: got %s, golden %s", k, g, w)
+		}
+	}
+	if got.WindyEvents != want.WindyEvents {
+		t.Errorf("windy events: got %d, golden %d", got.WindyEvents, want.WindyEvents)
+	}
+	if got.ObsDigest != want.ObsDigest || got.ObsRecords != want.ObsRecords {
+		t.Errorf("obs stream: got %s over %d records, golden %s over %d",
+			got.ObsDigest, got.ObsRecords, want.ObsDigest, want.ObsRecords)
+	}
+	if got.FECNMarked != want.FECNMarked || got.BECNReceived != want.BECNReceived || got.CNPSent != want.CNPSent {
+		t.Errorf("cc stats: got fecn=%d becn=%d cnp=%d, golden fecn=%d becn=%d cnp=%d",
+			got.FECNMarked, got.BECNReceived, got.CNPSent,
+			want.FECNMarked, want.BECNReceived, want.CNPSent)
+	}
+}

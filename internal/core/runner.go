@@ -132,6 +132,7 @@ func Build(s Scenario) (*Instance, error) {
 			Throttle:      throttle,
 			SLThrottle:    s.CCOn && s.CC.SLLevel,
 			HotspotVL:     hotspotVL(&s),
+			Pool:          net.PacketPool(),
 			RNG:           root.Derive(1000 + uint64(node)),
 		})
 		if err != nil {

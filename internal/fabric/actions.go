@@ -84,6 +84,12 @@ type hcaTxAct struct{ h *HCA }
 // Act implements sim.Action.
 func (a hcaTxAct) Act() { a.h.txDone() }
 
+// hcaWakeAct fires an HCA's armed send re-evaluation.
+type hcaWakeAct struct{ h *HCA }
+
+// Act implements sim.Action.
+func (a hcaWakeAct) Act() { a.h.kickSend() }
+
 // hcaDmaAct fires an HCA's injection-DMA completion for h.dmaPkt.
 type hcaDmaAct struct{ h *HCA }
 

@@ -71,11 +71,13 @@ func testCfg() Config {
 
 func TestSingleMessageDelivery(t *testing.T) {
 	tp, _ := topo.SingleSwitch(2)
-	var delivered []*ib.Packet
+	// Delivery consumers must not retain *ib.Packet past the hook (the
+	// sink releases it to the pool right after); copy the value.
+	var delivered []ib.Packet
 	n := buildNet(t, tp, testCfg(), Hooks{
 		Deliver: func(lid ib.LID, p *ib.Packet) {
 			if lid == 1 {
-				delivered = append(delivered, p)
+				delivered = append(delivered, *p)
 			}
 		},
 	})

@@ -66,8 +66,8 @@ type HCA struct {
 
 	// Pre-bound actions and their in-flight packets (one DMA and one
 	// sink service at a time).
-	txAct, dmaAct, sinkAct sim.Action
-	dmaPkt, sinkPkt        *ib.Packet
+	txAct, dmaAct, sinkAct, wakeAct sim.Action
+	dmaPkt, sinkPkt                 *ib.Packet
 
 	ctr HCACounters
 }
@@ -82,6 +82,7 @@ func newHCA(n *Network, node *topo.Node) *HCA {
 	h.txAct = hcaTxAct{h}
 	h.dmaAct = hcaDmaAct{h}
 	h.sinkAct = hcaSinkAct{h}
+	h.wakeAct = hcaWakeAct{h}
 	return h
 }
 
@@ -214,7 +215,7 @@ func (h *HCA) armWake(t sim.Time) {
 	if live {
 		h.net.simr.Cancel(h.wake)
 	}
-	h.wake = h.net.simr.ScheduleAt(t, h.kickSend)
+	h.wake = h.net.simr.ScheduleActionAt(t, h.wakeAct)
 	h.wakeSeq = h.wake.Seq()
 }
 
@@ -267,5 +268,9 @@ func (h *HCA) delivered(p *ib.Packet) {
 	if h.net.hooks.Deliver != nil {
 		h.net.hooks.Deliver(h.lid, p)
 	}
+	// The sink is the end of every packet's life: once the delivery
+	// consumers above have returned, nothing may hold the pointer and
+	// the packet goes back to the freelist for the next injection.
+	h.net.pool.Put(p)
 	h.consumeNext()
 }

@@ -26,6 +26,12 @@ type Network struct {
 	switches []*SwitchNode // dense switch index
 	swByNode []*SwitchNode // indexed by NodeID, nil for hosts
 
+	// pool recycles every packet the network carries: generators and
+	// the CC manager acquire through it, host sinks release into it
+	// after the delivery consumers return (see internal/ib/pool.go for
+	// the ownership rules).
+	pool *ib.PacketPool
+
 	// Recycled per-packet event actions (see actions.go).
 	arrPool []*arrivalAct
 	crdPool []*creditAct
@@ -37,7 +43,7 @@ func New(s *sim.Simulator, t *topo.Topology, r *topo.Routing, cfg Config, hooks 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{simr: s, topo: t, routing: r, cfg: cfg, hooks: hooks}
+	n := &Network{simr: s, topo: t, routing: r, cfg: cfg, hooks: hooks, pool: ib.NewPacketPool()}
 	n.hcas = make([]*HCA, t.NumHosts)
 	n.swByNode = make([]*SwitchNode, len(t.Nodes))
 
@@ -119,6 +125,11 @@ func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
 
 // Bus returns the attached event bus (nil when observability is off).
 func (n *Network) Bus() *obs.Bus { return n.bus }
+
+// PacketPool returns the network's packet freelist. Sources attached
+// via HCA.SetSource should acquire their packets from it so the
+// steady-state data path allocates nothing.
+func (n *Network) PacketPool() *ib.PacketPool { return n.pool }
 
 // HCA returns the host with the given LID.
 func (n *Network) HCA(lid ib.LID) *HCA { return n.hcas[lid] }

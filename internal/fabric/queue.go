@@ -4,7 +4,8 @@ import "repro/internal/ib"
 
 // pktQueue is a growable FIFO ring buffer of packets, used for VoQs,
 // staging buffers and sink queues. It avoids per-element allocation on
-// the simulator's hottest path.
+// the simulator's hottest path. Capacity is always a power of two so
+// index wrapping is a mask, not an integer division.
 type pktQueue struct {
 	buf  []*ib.Packet
 	head int
@@ -19,7 +20,7 @@ func (q *pktQueue) Push(p *ib.Packet) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
 	q.n++
 }
 
@@ -38,7 +39,7 @@ func (q *pktQueue) Pop() *ib.Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return p
 }
@@ -49,8 +50,9 @@ func (q *pktQueue) grow() {
 		size = 8
 	}
 	nb := make([]*ib.Packet, size)
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0

@@ -99,3 +99,32 @@ func TestPktQueueMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The mask-based index wrap requires every capacity to be a power of
+// two; growth must preserve that from the initial allocation onward.
+func TestPktQueuePowerOfTwoCapacity(t *testing.T) {
+	var q pktQueue
+	for i := 0; i < 1000; i++ {
+		q.Push(&ib.Packet{ID: uint64(i)})
+		if c := len(q.buf); c&(c-1) != 0 {
+			t.Fatalf("after %d pushes: capacity %d not a power of two", i+1, c)
+		}
+	}
+}
+
+// BenchmarkPktQueue measures the steady-state push/pop cycle at a fixed
+// occupancy — the pattern of every VoQ, staging buffer and sink queue on
+// the per-packet path. The mask-based wrap removes two integer divisions
+// per cycle relative to the previous %-len indexing.
+func BenchmarkPktQueue(b *testing.B) {
+	var q pktQueue
+	p := &ib.Packet{}
+	for i := 0; i < 24; i++ { // off power-of-two occupancy, head wraps
+		q.Push(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(q.Pop())
+	}
+}

@@ -1,0 +1,46 @@
+//go:build debug
+
+package ib
+
+// Debug-build ownership enforcement for the packet lifecycle. The rules
+// it checks:
+//
+//   - a packet may be released at most once per lifetime (double Put is
+//     the two-owners bug and panics immediately);
+//   - a released packet must not be read: Put poisons every field with
+//     garbage, so a consumer that retained a *Packet past its delivery
+//     callback sees impossible values (negative LIDs, a screaming ID)
+//     instead of plausibly stale ones.
+//
+// The checker lives entirely behind the `debug` build tag; release
+// builds compile the no-op variant in poolcheck_release.go.
+type poolChecker struct {
+	free map[*Packet]struct{}
+}
+
+func (c *poolChecker) onGet(p *Packet) {
+	delete(c.free, p)
+}
+
+func (c *poolChecker) onPut(p *Packet) {
+	if c.free == nil {
+		c.free = make(map[*Packet]struct{})
+	}
+	if _, dup := c.free[p]; dup {
+		panic("ib: double release of packet to pool")
+	}
+	c.free[p] = struct{}{}
+	poison(p)
+}
+
+// poison overwrites p with values no live packet can carry.
+func poison(p *Packet) {
+	*p = Packet{
+		ID:           ^uint64(0),
+		Type:         PacketType(0xee),
+		Src:          NoLID,
+		Dst:          NoLID,
+		PayloadBytes: -1,
+		MsgID:        ^uint64(0),
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelSteadyState measures raw future-event-list throughput
+// at a realistic pending depth: 4096 concurrently scheduled actors,
+// each rescheduling itself at a near-future pseudo-random delay. The
+// benchmark's events/s (inverse of ns/op) is the kernel number recorded
+// in BENCH_kernel.json; the acceptance bar for FEL changes is >= 1.3x
+// the recorded pre-PR binary-heap baseline.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	SteadyStateWorkload(4096, int64(b.N), 1)
+}
+
+// BenchmarkKernelShallow is the same workload at a shallow pending
+// depth (64 actors), where a binary heap is near its best case; it
+// guards against an FEL replacement that wins deep and loses shallow.
+func BenchmarkKernelShallow(b *testing.B) {
+	b.ReportAllocs()
+	SteadyStateWorkload(64, int64(b.N), 1)
+}
+
+// TestSteadyStateWorkloadDeterministic pins the workload itself: same
+// (actors, events, seed) must end at the same simulated instant with
+// the same processed count, whatever the FEL implementation.
+func TestSteadyStateWorkloadDeterministic(t *testing.T) {
+	a := SteadyStateWorkload(256, 20000, 7)
+	b := SteadyStateWorkload(256, 20000, 7)
+	if a.Now() != b.Now() || a.Processed() != b.Processed() {
+		t.Fatalf("workload not deterministic: %v/%d vs %v/%d",
+			a.Now(), a.Processed(), b.Now(), b.Processed())
+	}
+	if a.Processed() < 20000 {
+		t.Fatalf("processed %d < budget", a.Processed())
+	}
+}

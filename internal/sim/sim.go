@@ -2,6 +2,10 @@ package sim
 
 import "fmt"
 
+// minEventPool is the floor on the event recycle pool: small runs keep at
+// least this many handles warm regardless of their measured peak.
+const minEventPool = 64
+
 // Simulator owns the simulated clock and the future-event list. It is not
 // safe for concurrent use: the discrete-event model is inherently
 // sequential, and determinism (identical seed → identical trajectory) is a
@@ -14,6 +18,12 @@ type Simulator struct {
 	stopped bool
 	pool    []*Event
 
+	// peakPending is the high-water mark of the future-event list. It
+	// bounds the recycle pool: a pool larger than the peak number of
+	// simultaneously pending events can never be fully drawn down, so
+	// releases beyond it return events to the garbage collector.
+	peakPending int
+
 	// Processed counts events executed since construction (dead events
 	// discarded from the queue are not counted).
 	processed uint64
@@ -21,7 +31,9 @@ type Simulator struct {
 
 // New returns a Simulator with the clock at time zero.
 func New() *Simulator {
-	return &Simulator{}
+	s := &Simulator{}
+	s.queue.init()
+	return s
 }
 
 // Now returns the current simulated time.
@@ -33,6 +45,10 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // Pending returns the number of events in the future-event list,
 // including cancelled events not yet discarded.
 func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// PeakPending returns the high-water mark of the future-event list over
+// the simulator's lifetime; it sizes the event recycle pool.
+func (s *Simulator) PeakPending() int { return s.peakPending }
 
 // Schedule runs fn after delay d. It returns the event handle, which can
 // be cancelled. A negative delay is a programming error and panics.
@@ -48,7 +64,7 @@ func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
 	}
 	e := s.alloc(t)
 	e.fn = fn
-	s.queue.push(e)
+	s.push(e)
 	return e
 }
 
@@ -56,13 +72,27 @@ func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
 // allocating a closure — the hot-path variant the fabric uses for its
 // per-packet events.
 func (s *Simulator) ScheduleAction(d Duration, a Action) *Event {
+	return s.ScheduleActionAt(s.now.Add(d), a)
+}
+
+// ScheduleActionAt runs a pre-allocated Action at absolute time t; the
+// allocation-free counterpart of ScheduleAt.
+func (s *Simulator) ScheduleActionAt(t Time, a Action) *Event {
 	if a == nil {
 		panic("sim: scheduling nil action")
 	}
-	e := s.alloc(s.now.Add(d))
+	e := s.alloc(t)
 	e.act = a
-	s.queue.push(e)
+	s.push(e)
 	return e
+}
+
+// push inserts the event and tracks the pending high-water mark.
+func (s *Simulator) push(e *Event) {
+	s.queue.push(e)
+	if n := s.queue.Len(); n > s.peakPending {
+		s.peakPending = n
+	}
 }
 
 // alloc takes an event from the recycle pool or makes a new one.
@@ -78,16 +108,24 @@ func (s *Simulator) alloc(t Time) *Event {
 	} else {
 		e = &Event{}
 	}
-	*e = Event{time: t, seq: s.seq, idx: -1}
+	*e = Event{time: t, seq: s.seq}
 	s.seq++
 	return e
 }
 
-// release recycles a fired or discarded event.
+// release recycles a fired or discarded event. The pool is capped at the
+// measured pending high-water mark (with a small floor): the number of
+// live handles is pending + pooled, so a pool of peakPending events is
+// exactly enough to make every future alloc a recycle — a larger one is
+// garbage that can never drain.
 func (s *Simulator) release(e *Event) {
 	e.fn = nil
 	e.act = nil
-	if len(s.pool) < 4096 {
+	limit := s.peakPending
+	if limit < minEventPool {
+		limit = minEventPool
+	}
+	if len(s.pool) < limit {
 		s.pool = append(s.pool, e)
 	}
 }

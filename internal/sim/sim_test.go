@@ -327,16 +327,23 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
-// Exhaustive heap stress: random pushes and pops always yield sorted
-// output equal to a reference sort.
+// Exhaustive FEL stress: random pushes and pops always yield sorted
+// output equal to a reference sort. Times span many wheel slots and
+// reach past the wheel horizon, so ordering across the slot boundaries
+// and through the overflow heap is covered.
 func TestHeapMatchesSortReference(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
+	// Mix of ranges: sub-slot (dense tie-heavy), mid-wheel, and beyond
+	// the ~67 us horizon into the overflow heap.
+	ranges := []int64{100, 1 << wheelGranShift, 500_000, 200_000_000}
 	for trial := 0; trial < 50; trial++ {
 		q := &eventQueue{}
+		q.init()
+		span := ranges[trial%len(ranges)]
 		n := r.Intn(500)
 		times := make([]int64, n)
 		for i := range times {
-			tm := int64(r.Intn(100))
+			tm := r.Int63n(span)
 			times[i] = tm
 			q.push(&Event{time: Time(tm), seq: uint64(i)})
 		}
@@ -344,14 +351,69 @@ func TestHeapMatchesSortReference(t *testing.T) {
 		for i := 0; i < n; i++ {
 			e := q.pop()
 			if e == nil || int64(e.time) != times[i] {
-				t.Fatalf("trial %d pos %d: heap order diverges from sort", trial, i)
+				t.Fatalf("trial %d pos %d: FEL order diverges from sort", trial, i)
 			}
 		}
 		if q.pop() != nil {
-			t.Fatal("pop from empty heap returned event")
+			t.Fatal("pop from empty FEL returned event")
 		}
 		if q.peek() != nil {
-			t.Fatal("peek on empty heap returned event")
+			t.Fatal("peek on empty FEL returned event")
+		}
+	}
+}
+
+// Interleaved FEL stress against a reference model: pops must always
+// yield the (time, seq) minimum of the current contents, under random
+// push/pop interleaving. Pushes may land behind the cursor (the
+// schedule-after-horizon-return case), exercising the rewind path.
+func TestWheelInterleavedMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		q := &eventQueue{}
+		q.init()
+		var ref []*Event
+		var seq uint64
+		span := int64(1+trial) * 40_000_000 // up to ~1.2 ms: deep overflow use
+		for op := 0; op < 4000; op++ {
+			if r.Intn(3) > 0 || len(ref) == 0 {
+				e := &Event{time: Time(r.Int63n(span)), seq: seq}
+				seq++
+				q.push(e)
+				ref = append(ref, e)
+				continue
+			}
+			best := 0
+			for i, e := range ref {
+				if eventLess(e, ref[best]) {
+					best = i
+				}
+			}
+			got := q.pop()
+			if got != ref[best] {
+				t.Fatalf("trial %d op %d: pop = %+v, want %+v", trial, op, got, ref[best])
+			}
+			ref[best] = ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+			if q.Len() != len(ref) {
+				t.Fatalf("trial %d op %d: Len = %d, want %d", trial, op, q.Len(), len(ref))
+			}
+		}
+		for len(ref) > 0 {
+			best := 0
+			for i, e := range ref {
+				if eventLess(e, ref[best]) {
+					best = i
+				}
+			}
+			if got := q.pop(); got != ref[best] {
+				t.Fatalf("trial %d drain: pop diverges from reference", trial)
+			}
+			ref[best] = ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+		}
+		if q.pop() != nil {
+			t.Fatal("pop from drained FEL returned event")
 		}
 	}
 }
@@ -366,4 +428,62 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 	}
 	s.Run()
+}
+
+// nopAction is a reusable allocation-free callback for pool tests.
+type nopAction struct{ fired int }
+
+func (a *nopAction) Act() { a.fired++ }
+
+// The event recycle pool sizes itself from the measured pending
+// high-water mark: a burst larger than any fixed cap must be fully
+// retained on drain, so an equal second burst recycles every handle
+// instead of allocating.
+func TestEventPoolBurstThenDrain(t *testing.T) {
+	s := New()
+	act := &nopAction{}
+	const burst = 10000 // well above the old fixed 4096 cap
+	for i := 0; i < burst; i++ {
+		s.ScheduleActionAt(Time(i)*17, act)
+	}
+	if got := s.PeakPending(); got != burst {
+		t.Fatalf("PeakPending = %d, want %d", got, burst)
+	}
+	s.Run()
+	if len(s.pool) != burst {
+		t.Fatalf("pool holds %d handles after drain, want %d", len(s.pool), burst)
+	}
+
+	// Second burst: every schedule must draw from the pool.
+	base := s.Now()
+	for i := 0; i < burst; i++ {
+		s.ScheduleActionAt(base.Add(Duration(i+1)*Nanosecond), act)
+	}
+	if len(s.pool) != 0 {
+		t.Fatalf("second burst left %d pooled handles unclaimed", len(s.pool))
+	}
+	s.Run()
+	if len(s.pool) != burst {
+		t.Fatalf("pool holds %d handles after second drain, want %d", len(s.pool), burst)
+	}
+	if act.fired != 2*burst {
+		t.Fatalf("fired %d events, want %d", act.fired, 2*burst)
+	}
+}
+
+// A low-concurrency workload must not hoard handles: the pool stays at
+// the floor even when many more events fire sequentially.
+func TestEventPoolFloorBoundsSequentialLoad(t *testing.T) {
+	s := New()
+	act := &nopAction{}
+	for i := 0; i < 10*minEventPool; i++ {
+		s.ScheduleActionAt(Time(i)*Time(Nanosecond), act)
+		s.Run()
+	}
+	if s.PeakPending() != 1 {
+		t.Fatalf("PeakPending = %d, want 1", s.PeakPending())
+	}
+	if len(s.pool) > minEventPool {
+		t.Fatalf("pool grew to %d handles, floor is %d", len(s.pool), minEventPool)
+	}
 }

@@ -53,6 +53,11 @@ type NodeConfig struct {
 	// tree on their own lane while its root cause persists. The fabric
 	// must be configured with enough VLs.
 	HotspotVL ib.VL
+	// Pool supplies packet memory; wire the network's pool
+	// (fabric.Network.PacketPool) so the sink's releases feed the
+	// generator's acquisitions and steady state allocates nothing. A
+	// nil pool falls back to plain heap allocation.
+	Pool *ib.PacketPool
 	// RNG drives destination choice; required.
 	RNG *sim.RNG
 }
@@ -84,6 +89,10 @@ type Generator struct {
 	flows   map[ib.LID]*flow
 	active  []*flow // flows with queued packets, round-robin order
 	rr      int
+	// flowCap bounds any one flow's queue: every stream's full message
+	// backlog aimed at the same destination. Queues are pre-sized to it
+	// so steady state never grows them.
+	flowCap int
 
 	// slGate is the shared next-injection time under SLThrottle.
 	slGate sim.Time
@@ -133,6 +142,9 @@ func NewGenerator(cfg NodeConfig) (*Generator, error) {
 			rate: cfg.InjectionRate * sim.Rate(100-cfg.PPercent) / 100,
 		})
 	}
+	pktsPerMsg := (cfg.MsgBytes + ib.MTU - 1) / ib.MTU
+	g.flowCap = cfg.BacklogCap * pktsPerMsg * len(g.streams)
+	g.active = make([]*flow, 0, cfg.NumNodes-1)
 	return g, nil
 }
 
@@ -257,7 +269,7 @@ func (g *Generator) generate(s *stream, now sim.Time) bool {
 	}
 	fl := g.flows[dst]
 	if fl == nil {
-		fl = &flow{dst: dst}
+		fl = &flow{dst: dst, q: make([]*ib.Packet, 0, g.flowCap)}
 		g.flows[dst] = fl
 	}
 	if len(fl.q) == 0 {
@@ -279,19 +291,19 @@ func (g *Generator) generate(s *stream, now sim.Time) bool {
 	for seq := uint8(0); seq < nPkts; seq++ {
 		size := min(remaining, ib.MTU)
 		remaining -= size
-		fl.q = append(fl.q, &ib.Packet{
-			ID:           g.pktSeq,
-			Type:         ib.DataPacket,
-			Src:          g.cfg.LID,
-			Dst:          dst,
-			VL:           vl,
-			SL:           ib.SL(vl),
-			PayloadBytes: size,
-			Hotspot:      s.hotspot,
-			MsgID:        msgID,
-			MsgSeq:       seq,
-			MsgPackets:   nPkts,
-		})
+		p := g.cfg.Pool.Get()
+		p.ID = g.pktSeq
+		p.Type = ib.DataPacket
+		p.Src = g.cfg.LID
+		p.Dst = dst
+		p.VL = vl
+		p.SL = ib.SL(vl)
+		p.PayloadBytes = size
+		p.Hotspot = s.hotspot
+		p.MsgID = msgID
+		p.MsgSeq = seq
+		p.MsgPackets = nPkts
+		fl.q = append(fl.q, p)
 		g.pktSeq++
 	}
 	s.generated += int64(g.cfg.MsgBytes)
