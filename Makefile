@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race bench bench-obs bench-kernel paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants bench bench-obs bench-kernel paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -33,6 +33,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Runtime invariant + differential kernel suite: the internal/check unit
+# tests, the Table II wheel-vs-reference-heap trajectory comparison (run
+# with -count=1 so the differential corpus always executes), and an
+# end-to-end checked run through the paperbench CLI.
+invariants:
+	$(GO) test -count=1 ./internal/check
+	$(GO) test -count=1 ./internal/core -run 'Kernel|Check|Differential'
+	$(GO) run ./cmd/paperbench -radix 8 -diff-kernel -seeds 2
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -52,6 +52,7 @@ func main() {
 		events   = flag.String("events", "", "write a JSONL event log of the run to this file")
 		chrome   = flag.String("chrome-trace", "", "write a Chrome trace_event file (open in Perfetto) to this file")
 		ctree    = flag.Bool("ctree", false, "reconstruct the congestion trees from the event bus and print them")
+		checkInv = flag.Bool("check", false, "run under the runtime invariant checker; exit non-zero on violations")
 	)
 	flag.Parse()
 
@@ -78,7 +79,7 @@ func main() {
 		if *events != "" || *chrome != "" || *ctree {
 			log.Fatal("-events/-chrome-trace/-ctree record a single run; use -seeds 1")
 		}
-		runSeeds(s, *numSeeds, *jobs, store, *quiet)
+		runSeeds(s, *numSeeds, *jobs, store, *quiet, *checkInv)
 		return
 	}
 
@@ -112,6 +113,10 @@ func main() {
 			obFiles = append(obFiles, f)
 		}
 		ob = inst.Observe(o)
+	}
+	var ck interface{ Report() *ibcc.InvariantReport }
+	if *checkInv {
+		ck = inst.Check(ibcc.CheckOpts{Diagnostics: os.Stderr})
 	}
 	res := inst.Execute()
 	elapsed := time.Since(start)
@@ -163,6 +168,7 @@ func main() {
 
 	if *quiet {
 		fmt.Println(res.Summary)
+		reportCheck(ck, true)
 		if *ctree {
 			ob.TreeReport().WriteTo(os.Stdout)
 		}
@@ -189,19 +195,39 @@ func main() {
 	fmt.Printf("engine   : %d events in %v (%.1fM events/s)\n",
 		res.Events, elapsed.Round(time.Millisecond),
 		float64(res.Events)/elapsed.Seconds()/1e6)
+	reportCheck(ck, *quiet)
 	if *ctree {
 		ob.TreeReport().WriteTo(os.Stdout)
 	}
 }
 
+// reportCheck prints the invariant checker's verdict (nil ck = checker
+// off) and exits non-zero on violations.
+func reportCheck(ck interface{ Report() *ibcc.InvariantReport }, quiet bool) {
+	if ck == nil {
+		return
+	}
+	rep := ck.Report()
+	if err := rep.Err(); err != nil {
+		for _, v := range rep.Violations {
+			log.Printf("  %s", v)
+		}
+		log.Fatal(err)
+	}
+	if !quiet {
+		fmt.Printf("check    : clean (%d sweeps, %d events probed, %d CCTI steps validated)\n",
+			rep.Sweeps, rep.EventsChecked, rep.CCTISteps)
+	}
+}
+
 // runSeeds executes the scenario over n consecutive seeds on a worker
 // pool and reports the aggregated rates.
-func runSeeds(s ibcc.Scenario, n, jobs int, store *ibcc.ArtifactStore, quiet bool) {
+func runSeeds(s ibcc.Scenario, n, jobs int, store *ibcc.ArtifactStore, quiet, check bool) {
 	seeds := make([]uint64, n)
 	for i := range seeds {
 		seeds[i] = s.Seed + uint64(i)
 	}
-	opts := ibcc.RunOpts{Workers: jobs}
+	opts := ibcc.RunOpts{Workers: jobs, Check: check}
 	if jobs <= 0 {
 		opts.Workers = ibcc.WorkersAll
 		jobs = runtime.GOMAXPROCS(0)

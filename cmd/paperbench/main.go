@@ -10,6 +10,8 @@
 //	paperbench -cpuprofile cpu.pb   # profile the run (go tool pprof)
 //	paperbench -chrome-trace f5.trace -ctree  # flight-record the base scenario
 //	paperbench -bench-kernel BENCH_kernel.json  # event-kernel + packet-lifecycle benchmark
+//	paperbench -diff-kernel         # timing wheel vs reference heap, byte-identical check
+//	paperbench -check -exp table2   # run experiments under the invariant checker
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -61,6 +63,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchK   = flag.String("bench-kernel", "", "benchmark the event kernel + packet lifecycle, write JSON here, then exit")
+		diffK    = flag.Bool("diff-kernel", false, "differential kernel validation: run the Table II corpus on both event-list kernels under the invariant checker, then exit")
+		checkInv = flag.Bool("check", false, "run every simulation under the runtime invariant checker (fails on violations)")
 		events   = flag.String("events", "", "flight-record the base scenario: JSONL event log to this file, then exit")
 		chrome   = flag.String("chrome-trace", "", "flight-record the base scenario: Chrome trace to this file, then exit")
 		ctree    = flag.Bool("ctree", false, "flight-record the base scenario: print its congestion trees, then exit")
@@ -94,6 +98,13 @@ func main() {
 		return
 	}
 
+	if *diffK {
+		if err := runDiffKernel(base, *seeds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	workers := *jobs
 	if workers <= 0 {
 		workers = ibcc.WorkersAll
@@ -113,7 +124,7 @@ func main() {
 	experiment := func(name string, totalSims int, fn func(o ibcc.RunOpts) error) {
 		tl := &tally{}
 		var prog *ibcc.Progress
-		o := ibcc.RunOpts{Workers: workers}
+		o := ibcc.RunOpts{Workers: workers, Check: *checkInv}
 		if store != nil {
 			o.Lookup = store.Lookup
 		}
@@ -256,6 +267,59 @@ func main() {
 	}
 
 	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// runDiffKernel is the differential kernel validation mode: every
+// Table II configuration of the base scenario, over the given number of
+// seeds, runs on both event-list kernels (production timing wheel and
+// reference binary heap) plus once more under the runtime invariant
+// checker. Any trajectory divergence, invariant violation, or
+// checker-induced perturbation is an error.
+func runDiffKernel(base ibcc.Scenario, seeds int) error {
+	if seeds < 1 {
+		seeds = 1
+	}
+	start := time.Now()
+	failures := 0
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		s0 := base
+		s0.Seed = base.Seed + seed
+		for _, s := range ibcc.TableIIScenarios(s0) {
+			d, err := ibcc.RunDifferential(s)
+			if err != nil {
+				return err
+			}
+			_, rep, err := ibcc.RunChecked(s, ibcc.CheckOpts{Diagnostics: os.Stderr})
+			if err != nil {
+				return err
+			}
+			status := "ok"
+			if !d.Match() {
+				status = "KERNEL MISMATCH"
+				failures++
+			} else if rep.Total > 0 {
+				status = fmt.Sprintf("%d VIOLATIONS", rep.Total)
+				failures++
+			}
+			fmt.Printf("%-40s seed %-3d digest %s  %8d records  %-6s\n",
+				s.Name, s0.Seed, d.Wheel.Digest, d.Wheel.Records, status)
+			if !d.Match() {
+				for _, m := range d.Mismatches() {
+					fmt.Printf("    %s\n", m)
+				}
+			}
+			for _, v := range rep.Violations {
+				fmt.Printf("    %s\n", v)
+			}
+		}
+	}
+	fmt.Printf("diff-kernel: %d configurations x %d seeds in %v\n",
+		4, seeds, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return fmt.Errorf("diff-kernel: %d configuration(s) failed", failures)
+	}
+	fmt.Println("diff-kernel: wheel and reference-heap trajectories byte-identical, zero invariant violations")
+	return nil
 }
 
 // flightRecord runs the base scenario once with the flight recorder

@@ -1,0 +1,376 @@
+// Package check is the simulation's runtime invariant layer: an opt-in
+// checker that sweeps global conservation laws and local accounting
+// bounds at fixed simulated-time windows while a run executes, validates
+// every congestion-control table transition as it is published, probes
+// the future-event list's ordering contract on every executed event, and
+// watches for forward-progress loss (deadlock or livelock) while packets
+// are in flight.
+//
+// The checker is always compiled — there is no build tag — and costs
+// nothing when not attached: the model layers it reads expose their
+// state behind nil-checked audit hooks (fabric.Network.EnableAudit,
+// sim.Simulator.SetExecHook), so an unchecked run pays at most one
+// predictable branch per hot-path site.
+//
+// Crucially, the checker never perturbs the trajectory it validates: it
+// only reads model state between event executions and consumes
+// flight-recorder events, and it never schedules simulator events of its
+// own (the sweep windows are driven by bounded RunUntil calls from the
+// outside). A checked run is bit-identical to an unchecked one, which
+// internal/core's differential tests assert by digest.
+package check
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cc"
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Target bundles the model components one checker instance watches. Net,
+// CC, Pool and SourcesPending may each be nil: the checker sweeps only
+// the invariants its target supports, so unit tests can probe single
+// rules in isolation.
+type Target struct {
+	// Sim is the driving simulator; required.
+	Sim *sim.Simulator
+	// Net is the fabric; enables the credit-bound and custody-census
+	// sweeps. New switches its wire-custody audit on.
+	Net *fabric.Network
+	// CC is the congestion-control manager; enables the CC structural
+	// sweep and gives CCTI transition validation its parameter set.
+	CC *cc.Manager
+	// Pool is the packet pool the conservation law balances.
+	Pool *ib.PacketPool
+	// SourcesPending reports how many generated packets sit in source
+	// queues awaiting injection (the non-fabric side of the custody
+	// census).
+	SourcesPending func() int
+}
+
+// Config tunes the checker.
+type Config struct {
+	// Window is the simulated time between invariant sweeps; default
+	// 50 µs.
+	Window sim.Duration
+	// WatchdogAfter is how long the fabric may hold packets without a
+	// single packet injection or delivery before the watchdog declares
+	// lost forward progress; 0 means 1 ms, negative disables the
+	// watchdog.
+	WatchdogAfter sim.Duration
+	// Diagnostics, when non-nil, receives a structured state dump when
+	// the watchdog trips or the first violation of a run is recorded.
+	Diagnostics io.Writer
+	// MaxViolations bounds how many violations are recorded (further
+	// ones are counted but dropped); default 32.
+	MaxViolations int
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Time is the simulated time of detection.
+	Time sim.Time
+	// Rule names the invariant: "conservation", "pool-accounting",
+	// "credit-bounds", "cc-state", "ccti-step", "fel-order",
+	// "watchdog".
+	Rule string
+	// Detail describes the breach.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", v.Time, v.Rule, v.Detail)
+}
+
+// Report is the outcome of a checked run.
+type Report struct {
+	// Violations holds the recorded breaches in detection order, capped
+	// at Config.MaxViolations.
+	Violations []Violation
+	// Total counts every detected breach, including dropped ones.
+	Total int
+	// Sweeps counts completed invariant sweeps.
+	Sweeps int
+	// EventsChecked counts executed events probed for FEL order.
+	EventsChecked uint64
+	// CCTISteps counts validated CCTI transitions.
+	CCTISteps uint64
+}
+
+// Err returns nil for a clean report and an error summarizing the first
+// violation otherwise.
+func (r *Report) Err() error {
+	if r.Total == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s), first: %s", r.Total, r.Violations[0])
+}
+
+// Checker validates a running simulation. Create with New, optionally
+// Attach to the run's flight-recorder bus, then drive the run through
+// Run instead of calling sim.Simulator.RunUntil directly.
+type Checker struct {
+	t   Target
+	cfg Config
+	rep Report
+
+	params     cc.Params // captured from t.CC; zero when CC is off
+	ccParamsOK bool
+
+	// FEL order probe state: the (time, seq) of the last executed event.
+	lastTime sim.Time
+	lastSeq  uint64
+	haveLast bool
+
+	// Watchdog state: the last observed injection+delivery total and
+	// when it last moved.
+	lastIO     uint64
+	lastIOTime sim.Time
+	tripped    bool
+
+	// reg feeds the diagnostic dump's hottest-port view when the checker
+	// is attached to a bus.
+	reg *obs.Registry
+
+	dumped bool
+}
+
+// New builds a checker for the target, switching on the fabric's
+// wire-custody audit (which therefore must happen before the network
+// starts).
+func New(t Target, cfg Config) *Checker {
+	if t.Sim == nil {
+		panic("check: target simulator required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * sim.Microsecond
+	}
+	if cfg.WatchdogAfter == 0 {
+		cfg.WatchdogAfter = sim.Millisecond
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 32
+	}
+	c := &Checker{t: t, cfg: cfg}
+	if t.Net != nil {
+		t.Net.EnableAudit()
+	}
+	if t.CC != nil {
+		c.params = t.CC.Params()
+		c.ccParamsOK = true
+	}
+	return c
+}
+
+// Attach subscribes the checker's CCTI transition validator to the run's
+// flight-recorder bus. The checker only consumes events; everything the
+// model publishes is independent of subscriber count, so attaching does
+// not perturb the trajectory.
+func (c *Checker) Attach(bus *obs.Bus) {
+	bus.Subscribe(obs.ConsumerFunc(c.consumeCCTI), obs.KindCCTIChanged)
+	nv := 1
+	if c.t.Net != nil {
+		nv = c.t.Net.Config().NumVLs
+	}
+	c.reg = obs.NewRegistry(nv)
+	c.reg.Attach(bus)
+}
+
+// Run drives the simulation to end in Config.Window steps, sweeping the
+// invariants between steps, and returns the number of events executed.
+// The FEL-order probe is installed for the duration of the call. Because
+// the sweeps run strictly between event executions and schedule nothing,
+// the trajectory is identical to a single RunUntil(end).
+func (c *Checker) Run(end sim.Time) uint64 {
+	simr := c.t.Sim
+	simr.SetExecHook(c.execEvent)
+	defer simr.SetExecHook(nil)
+	c.lastIOTime = simr.Now()
+	var n uint64
+	for {
+		now := simr.Now()
+		if !now.Before(end) {
+			break
+		}
+		next := now.Add(c.cfg.Window)
+		if next.After(end) {
+			next = end
+		}
+		n += simr.RunUntil(next)
+		c.sweep(simr.Now())
+	}
+	return n
+}
+
+// Report returns the accumulated outcome.
+func (c *Checker) Report() *Report {
+	rep := c.rep
+	return &rep
+}
+
+// violate records one breach.
+func (c *Checker) violate(t sim.Time, rule, format string, args ...interface{}) {
+	c.rep.Total++
+	if len(c.rep.Violations) < c.cfg.MaxViolations {
+		c.rep.Violations = append(c.rep.Violations, Violation{Time: t, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	if c.cfg.Diagnostics != nil && !c.dumped {
+		c.dumped = true
+		fmt.Fprintf(c.cfg.Diagnostics, "check: first violation: %s\n", c.rep.Violations[len(c.rep.Violations)-1])
+		c.dump(c.cfg.Diagnostics)
+	}
+}
+
+// execEvent is the FEL-order probe, fired by the simulator after every
+// event's time is committed and before its callback runs. The kernel's
+// ordering contract: execution order is (time, seq) lexicographic, so
+// time never decreases and, within one instant, sequence numbers
+// strictly increase.
+func (c *Checker) execEvent(t sim.Time, seq uint64) {
+	c.rep.EventsChecked++
+	if c.haveLast {
+		if t.Before(c.lastTime) {
+			c.violate(t, "fel-order", "event time went backwards: (%v, seq %d) after (%v, seq %d)",
+				t, seq, c.lastTime, c.lastSeq)
+		} else if t == c.lastTime && seq <= c.lastSeq {
+			c.violate(t, "fel-order", "event seq not increasing at %v: seq %d after seq %d",
+				t, seq, c.lastSeq)
+		}
+	}
+	c.lastTime, c.lastSeq, c.haveLast = t, seq, true
+}
+
+// consumeCCTI validates one congestion-control table transition against
+// the parameter set's legal moves: a BECN bump to
+// min(old+CCTIIncrease, CCTILimit) that actually moved the index, or a
+// recovery-timer decay of exactly one step above CCTIMin.
+func (c *Checker) consumeCCTI(e obs.Event) {
+	c.rep.CCTISteps++
+	if !c.ccParamsOK {
+		return
+	}
+	p := &c.params
+	if e.NewCCTI > p.CCTILimit || e.NewCCTI < p.CCTIMin || e.OldCCTI > p.CCTILimit || e.OldCCTI < p.CCTIMin {
+		c.violate(e.Time, "ccti-step", "flow %d->%d ccti %d->%d outside [%d, %d]",
+			e.Src, e.Dst, e.OldCCTI, e.NewCCTI, p.CCTIMin, p.CCTILimit)
+		return
+	}
+	bump := e.OldCCTI + p.CCTIIncrease
+	if bump > p.CCTILimit || bump < e.OldCCTI {
+		bump = p.CCTILimit
+	}
+	increase := e.NewCCTI == bump && e.NewCCTI != e.OldCCTI
+	decay := e.OldCCTI > p.CCTIMin && e.NewCCTI == e.OldCCTI-1
+	if !increase && !decay {
+		c.violate(e.Time, "ccti-step", "flow %d->%d illegal ccti step %d->%d (increase=%d limit=%d min=%d)",
+			e.Src, e.Dst, e.OldCCTI, e.NewCCTI, p.CCTIIncrease, p.CCTILimit, p.CCTIMin)
+	}
+}
+
+// sweep checks every windowed invariant at an event boundary.
+func (c *Checker) sweep(now sim.Time) {
+	c.rep.Sweeps++
+
+	live := c.t.Pool.Live()
+	pending := 0
+	if c.t.SourcesPending != nil {
+		pending = c.t.SourcesPending()
+	}
+
+	if c.t.Net != nil {
+		// Packet conservation: every live pool packet is either queued
+		// at a source awaiting injection or in fabric custody (staging,
+		// wire, VoQ, receive side). A surplus is a leak; a deficit is a
+		// double release or custody miscount.
+		if c.t.Pool != nil {
+			held := c.t.Net.HeldPackets()
+			if live != held+pending {
+				c.violate(now, "conservation", "pool live %d != fabric held %d + source pending %d (census %v)",
+					live, held, pending, c.t.Net.Census())
+			}
+			// Pool accounting: the host sink is the packet lifecycle's
+			// only release site, so releases and sink deliveries agree.
+			var rx uint64
+			for lid := 0; lid < c.t.Net.NumHosts(); lid++ {
+				rx += c.t.Net.HCA(ib.LID(lid)).Counters().RxPackets
+			}
+			if puts := c.t.Pool.Stats().Puts; puts != rx {
+				c.violate(now, "pool-accounting", "pool puts %d != delivered packets %d", puts, rx)
+			}
+		}
+		if err := c.t.Net.CheckCreditBounds(); err != nil {
+			c.violate(now, "credit-bounds", "%v", err)
+		}
+	}
+	if c.t.CC != nil {
+		if err := c.t.CC.CheckInvariants(); err != nil {
+			c.violate(now, "cc-state", "%v", err)
+		}
+	}
+	c.watchdog(now, live, pending)
+}
+
+// watchdog detects lost forward progress: the fabric holds packets but
+// no packet has entered or left it for WatchdogAfter of simulated time.
+// Source-queued packets do not arm it — a fully throttled source is
+// legal — but a packet stuck inside the fabric is not.
+func (c *Checker) watchdog(now sim.Time, live, pending int) {
+	if c.cfg.WatchdogAfter < 0 || c.t.Net == nil {
+		return
+	}
+	var io uint64
+	for lid := 0; lid < c.t.Net.NumHosts(); lid++ {
+		ctr := c.t.Net.HCA(ib.LID(lid)).Counters()
+		io += ctr.TxPackets + ctr.RxPackets
+	}
+	inFabric := live - pending
+	if io != c.lastIO || inFabric <= 0 {
+		c.lastIO, c.lastIOTime = io, now
+		c.tripped = false
+		return
+	}
+	if c.tripped || now.Sub(c.lastIOTime) < c.cfg.WatchdogAfter {
+		return
+	}
+	c.tripped = true
+	c.violate(now, "watchdog", "no packet injected or delivered for %v with %d packets in fabric custody",
+		now.Sub(c.lastIOTime), inFabric)
+	if c.cfg.Diagnostics != nil {
+		c.dump(c.cfg.Diagnostics)
+	}
+}
+
+// dump writes a structured state snapshot for diagnosing a violation.
+func (c *Checker) dump(w io.Writer) {
+	simr := c.t.Sim
+	fmt.Fprintf(w, "check: state at %v: %d events executed, %d pending\n",
+		simr.Now(), simr.Processed(), simr.Pending())
+	if c.t.Pool != nil {
+		st := c.t.Pool.Stats()
+		fmt.Fprintf(w, "check: pool gets=%d puts=%d live=%d free=%d\n",
+			st.Gets, st.Puts, c.t.Pool.Live(), c.t.Pool.FreeLen())
+	}
+	if c.t.Net != nil {
+		fmt.Fprintf(w, "check: fabric custody %v\n", c.t.Net.Census())
+	}
+	if c.t.SourcesPending != nil {
+		fmt.Fprintf(w, "check: source pending %d\n", c.t.SourcesPending())
+	}
+	if c.t.CC != nil {
+		flows, mean := c.t.CC.ThrottleSummary()
+		fmt.Fprintf(w, "check: cc throttled flows=%d mean ccti=%.2f\n", flows, mean)
+	}
+	if c.reg != nil {
+		marks, stalls, fwdPkts, fwdBytes := c.reg.Totals()
+		fmt.Fprintf(w, "check: ports fecn=%d stalls=%d fwd=%d pkts %d bytes\n",
+			marks, stalls, fwdPkts, fwdBytes)
+		if k, pc := c.reg.HottestPort(); pc != nil {
+			fmt.Fprintf(w, "check: hottest port %v: %d marks, peak queue %d bytes\n",
+				k, pc.FECNMarks, pc.PeakQueuedBytes)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// CheckOpts configures the runtime invariant checker attached to a run.
+// It is the CheckOpts sibling of ObserveOpts: the zero value enables the
+// full invariant suite at its defaults (50 µs sweep window, 1 ms
+// watchdog, no diagnostics stream).
+type CheckOpts struct {
+	// Window is the simulated time between invariant sweeps (default
+	// 50 µs).
+	Window sim.Duration
+	// WatchdogAfter is the forward-progress watchdog horizon: 0 means
+	// 1 ms, negative disables the watchdog.
+	WatchdogAfter sim.Duration
+	// Diagnostics, when non-nil, receives a structured model-state dump
+	// on the run's first violation and on a watchdog trip.
+	Diagnostics io.Writer
+	// MaxViolations bounds how many violations are recorded in full
+	// (default 32); further ones are only counted.
+	MaxViolations int
+}
+
+// Check attaches the runtime invariant checker to a built-but-not-
+// executed instance and returns it; Execute then runs the simulation in
+// sweep windows under the checker. Call between Build and Execute;
+// inspect the checker's Report after Execute. The checker never perturbs
+// the trajectory — a checked run is bit-identical to an unchecked one.
+func (in *Instance) Check(o CheckOpts) *check.Checker {
+	if in.executed {
+		panic("core: Check after Execute")
+	}
+	ck := check.New(check.Target{
+		Sim:            in.Net.Sim(),
+		Net:            in.Net,
+		CC:             in.CC,
+		Pool:           in.Net.PacketPool(),
+		SourcesPending: in.sourcesPending,
+	}, check.Config{
+		Window:        o.Window,
+		WatchdogAfter: o.WatchdogAfter,
+		Diagnostics:   o.Diagnostics,
+		MaxViolations: o.MaxViolations,
+	})
+	ck.Attach(in.bus())
+	in.checker = ck
+	return ck
+}
+
+// sourcesPending sums the generated-but-not-injected packets across the
+// instance's traffic generators; the checker balances them against the
+// fabric's custody census.
+func (in *Instance) sourcesPending() int {
+	n := 0
+	for _, g := range in.sources {
+		if g != nil {
+			n += g.PendingPackets()
+		}
+	}
+	return n
+}
+
+// DeliveredPackets sums the packets consumed by every host sink; the
+// differential and invariant tests use it as a model-level progress
+// measure.
+func (in *Instance) DeliveredPackets() uint64 {
+	var rx uint64
+	for lid := 0; lid < in.Net.NumHosts(); lid++ {
+		rx += in.Net.HCA(ib.LID(lid)).Counters().RxPackets
+	}
+	return rx
+}
+
+// RunChecked executes one scenario end to end under the runtime
+// invariant checker and returns the result alongside the checker's
+// report. The result is identical to Run's: checking does not perturb
+// the trajectory.
+func RunChecked(s Scenario, o CheckOpts) (*Result, *check.Report, error) {
+	in, err := Build(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	ck := in.Check(o)
+	res := in.Execute()
+	return res, ck.Report(), nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/obs"
+)
+
+// The differential kernel check runs the same scenario twice — once on
+// the production timing-wheel future-event list, once on
+// sim.ReferenceFEL, a deliberately independent textbook binary heap —
+// and compares complete trajectory signatures. Any divergence between
+// the two kernels (an ordering bug in either) shows up as a digest
+// mismatch long before it would corrupt an aggregate visibly.
+
+// KernelSignature fingerprints one run's complete observable trajectory:
+// the order-sensitive digest of the full flight-recorder event stream
+// plus the aggregates a paper table would report. It is a comparable
+// struct, so two signatures are compared with ==.
+type KernelSignature struct {
+	// Digest is the obs.Digest over the full event stream, Records its
+	// event count.
+	Digest  string
+	Records uint64
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Summary aggregates (Gbit/s).
+	HotGbps, NonHotGbps, AllGbps, TotalGbps float64
+	// CC activity counters.
+	FECNMarked, BECNReceived, CNPSent, ACKSent, TimerDecrements uint64
+	MaxCCTI                                                     uint16
+}
+
+func (k KernelSignature) String() string {
+	return fmt.Sprintf("digest=%s records=%d events=%d total=%.6g fecn=%d becn=%d",
+		k.Digest, k.Records, k.Events, k.TotalGbps, k.FECNMarked, k.BECNReceived)
+}
+
+// DiffReport is the outcome of one differential kernel run.
+type DiffReport struct {
+	// Wheel is the production timing-wheel signature, Ref the
+	// ReferenceFEL one.
+	Wheel, Ref KernelSignature
+}
+
+// Match reports whether the two kernels produced byte-identical
+// trajectories.
+func (d *DiffReport) Match() bool { return d.Wheel == d.Ref }
+
+// Mismatches describes every differing signature field.
+func (d *DiffReport) Mismatches() []string {
+	var out []string
+	add := func(field string, w, r interface{}) {
+		if w != r {
+			out = append(out, fmt.Sprintf("%s: wheel %v, ref %v", field, w, r))
+		}
+	}
+	add("digest", d.Wheel.Digest, d.Ref.Digest)
+	add("records", d.Wheel.Records, d.Ref.Records)
+	add("events", d.Wheel.Events, d.Ref.Events)
+	add("hot", d.Wheel.HotGbps, d.Ref.HotGbps)
+	add("nonhot", d.Wheel.NonHotGbps, d.Ref.NonHotGbps)
+	add("all", d.Wheel.AllGbps, d.Ref.AllGbps)
+	add("total", d.Wheel.TotalGbps, d.Ref.TotalGbps)
+	add("fecn", d.Wheel.FECNMarked, d.Ref.FECNMarked)
+	add("becn", d.Wheel.BECNReceived, d.Ref.BECNReceived)
+	add("cnp", d.Wheel.CNPSent, d.Ref.CNPSent)
+	add("ack", d.Wheel.ACKSent, d.Ref.ACKSent)
+	add("decr", d.Wheel.TimerDecrements, d.Ref.TimerDecrements)
+	add("maxccti", d.Wheel.MaxCCTI, d.Ref.MaxCCTI)
+	return out
+}
+
+// signedRun executes s and returns its trajectory signature. refKernel
+// selects the ReferenceFEL kernel; a non-nil co runs under the invariant
+// checker and returns its report.
+func signedRun(s Scenario, refKernel bool, co *CheckOpts) (KernelSignature, *check.Report, error) {
+	in, err := Build(s)
+	if err != nil {
+		return KernelSignature{}, nil, err
+	}
+	if refKernel {
+		in.Net.Sim().UseReferenceFEL()
+	}
+	dig := obs.NewDigest()
+	in.bus().Subscribe(dig)
+	var ck *check.Checker
+	if co != nil {
+		ck = in.Check(*co)
+	}
+	res := in.Execute()
+	sig := KernelSignature{
+		Digest:          dig.Sum(),
+		Records:         dig.Records(),
+		Events:          res.Events,
+		HotGbps:         res.Summary.HotspotAvgGbps,
+		NonHotGbps:      res.Summary.NonHotspotAvgGbps,
+		AllGbps:         res.Summary.AllAvgGbps,
+		TotalGbps:       res.Summary.TotalGbps,
+		FECNMarked:      res.CCStats.FECNMarked,
+		BECNReceived:    res.CCStats.BECNReceived,
+		CNPSent:         res.CCStats.CNPSent,
+		ACKSent:         res.CCStats.ACKSent,
+		TimerDecrements: res.CCStats.TimerDecrements,
+		MaxCCTI:         res.CCStats.MaxCCTI,
+	}
+	var rep *check.Report
+	if ck != nil {
+		rep = ck.Report()
+	}
+	return sig, rep, nil
+}
+
+// RunDifferential executes s on both event-list kernels and returns the
+// signature pair. The wheel run is plain; use RunChecked separately to
+// combine differential and invariant checking.
+func RunDifferential(s Scenario) (*DiffReport, error) {
+	wheel, _, err := signedRun(s, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	ref, _, err := signedRun(s, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DiffReport{Wheel: wheel, Ref: ref}, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// diffBase is the reduced-window radix-8 scenario corpus the
+// differential and invariant tests sweep: small enough to run both
+// kernels repeatedly, large enough to exercise hotspot congestion, CC
+// notification loops and recovery timers.
+func diffBase(seed uint64) Scenario {
+	s := Default(8)
+	s.Seed = seed
+	s.Warmup = 200 * sim.Microsecond
+	s.Measure = 400 * sim.Microsecond
+	return s
+}
+
+// TestDifferentialKernelTableII runs every Table II configuration over
+// three seeds on both event-list kernels and asserts byte-identical
+// trajectories, that the runtime invariant checker finds nothing, and
+// that the checked run's trajectory equals the unchecked one (the
+// checker never perturbs).
+func TestDifferentialKernelTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is not short")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, s := range TableIIScenarios(diffBase(seed)) {
+			d, err := RunDifferential(s)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name, seed, err)
+			}
+			if !d.Match() {
+				t.Errorf("%s seed %d: kernel trajectories diverge:", s.Name, seed)
+				for _, m := range d.Mismatches() {
+					t.Errorf("  %s", m)
+				}
+				continue
+			}
+			if d.Wheel.Records == 0 {
+				t.Errorf("%s seed %d: empty event stream", s.Name, seed)
+			}
+
+			checked, rep, err := signedRun(s, false, &CheckOpts{})
+			if err != nil {
+				t.Fatalf("%s seed %d checked: %v", s.Name, seed, err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Errorf("%s seed %d: %v", s.Name, seed, err)
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			if rep.Sweeps == 0 || rep.EventsChecked == 0 {
+				t.Errorf("%s seed %d: checker idle (sweeps=%d events=%d)",
+					s.Name, seed, rep.Sweeps, rep.EventsChecked)
+			}
+			if s.CCOn && s.CNodesActive && rep.CCTISteps == 0 {
+				t.Errorf("%s seed %d: no CCTI transitions validated", s.Name, seed)
+			}
+			if checked != d.Wheel {
+				t.Errorf("%s seed %d: checked run diverged from unchecked wheel run:\n  checked %v\n  wheel   %v",
+					s.Name, seed, checked, d.Wheel)
+			}
+		}
+	}
+}
+
+// TestCheckedReferenceKernel closes the matrix: the ReferenceFEL kernel
+// under the invariant checker also produces the unchecked wheel
+// trajectory with zero violations.
+func TestCheckedReferenceKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is not short")
+	}
+	s := TableIIScenarios(diffBase(1))[3] // CC on, hotspots on
+	wheel, _, err := signedRun(s, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, rep, err := signedRun(s, true, &CheckOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Error(err)
+	}
+	if ref != wheel {
+		t.Errorf("checked reference run diverged:\n  ref   %v\n  wheel %v", ref, wheel)
+	}
+}

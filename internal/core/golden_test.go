@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"hash"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,53 +54,10 @@ func goldenBase() Scenario {
 
 func g9(v float64) string { return fmt.Sprintf("%.12g", v) }
 
-// eventDigest hashes every published event field-by-field in a fixed
-// order, so two runs agree iff their event streams are identical in
-// content and order.
-type eventDigest struct {
-	h   hash.Hash64
-	n   uint64
-	buf [8]byte
-}
-
-func newEventDigest() *eventDigest {
-	return &eventDigest{h: fnv.New64a()}
-}
-
-func (d *eventDigest) hash8(v uint64) {
-	for i := 0; i < 8; i++ {
-		d.buf[i] = byte(v >> (8 * i))
-	}
-	d.h.Write(d.buf[:])
-}
-
-func b2u(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// Consume implements obs.Consumer.
-func (d *eventDigest) Consume(e obs.Event) {
-	d.n++
-	d.hash8(uint64(e.Kind))
-	d.hash8(b2u(e.Switch) | b2u(e.Hotspot)<<1 | b2u(e.HostPort)<<2 | b2u(e.FECN)<<3 | b2u(e.BECN)<<4)
-	d.hash8(uint64(e.Type))
-	d.hash8(uint64(e.VL))
-	d.hash8(uint64(e.Time))
-	d.hash8(uint64(int64(e.Node)))
-	d.hash8(uint64(int64(e.Port)))
-	d.hash8(e.PktID)
-	d.hash8(uint64(int64(e.Src)))
-	d.hash8(uint64(int64(e.Dst)))
-	d.hash8(uint64(int64(e.Bytes)))
-	d.hash8(uint64(int64(e.QueuedBytes)))
-	d.hash8(uint64(int64(e.CreditBytes)))
-	d.hash8(uint64(e.OldCCTI)<<16 | uint64(e.NewCCTI))
-}
-
-// buildGolden runs the golden workloads and assembles the record.
+// buildGolden runs the golden workloads and assembles the record. The
+// event stream is fingerprinted by obs.Digest — the same comparator the
+// differential kernel check uses — so the golden file pins the exact
+// hashing the live cross-implementation check relies on.
 func buildGolden(t *testing.T) *goldenRecord {
 	t.Helper()
 	base := goldenBase()
@@ -138,7 +93,7 @@ func buildGolden(t *testing.T) *goldenRecord {
 		t.Fatal(err)
 	}
 	ob := in.Observe(ObserveOpts{})
-	dig := newEventDigest()
+	dig := obs.NewDigest()
 	ob.Bus.Subscribe(dig)
 	res := in.Execute()
 
@@ -149,8 +104,8 @@ func buildGolden(t *testing.T) *goldenRecord {
 		"total":  g9(res.Summary.TotalGbps),
 	}
 	rec.WindyEvents = res.Events
-	rec.ObsDigest = fmt.Sprintf("%016x", dig.h.Sum64())
-	rec.ObsRecords = dig.n
+	rec.ObsDigest = dig.Sum()
+	rec.ObsRecords = dig.Records()
 	rec.FECNMarked = res.CCStats.FECNMarked
 	rec.BECNReceived = res.CCStats.BECNReceived
 	rec.CNPSent = res.CCStats.CNPSent

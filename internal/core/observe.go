@@ -49,7 +49,7 @@ func (in *Instance) Observe(o ObserveOpts) *Observation {
 	if in.executed {
 		panic("core: Observe after Execute")
 	}
-	bus := obs.New()
+	bus := in.bus()
 	ob := &Observation{Bus: bus}
 	if o.Events != nil {
 		ob.jsonl = obs.NewJSONLWriter(o.Events)
@@ -71,11 +71,21 @@ func (in *Instance) Observe(o ObserveOpts) *Observation {
 		ob.CCTI = obs.NewCCTILog()
 		ob.CCTI.Attach(bus)
 	}
-	in.Net.SetBus(bus)
-	if in.CC != nil {
-		in.CC.SetBus(bus)
-	}
 	return ob
+}
+
+// bus returns the instance's flight-recorder bus, creating and wiring it
+// into the fabric and the CC manager on first use. Observe and Check
+// share it, so a run may attach both.
+func (in *Instance) bus() *obs.Bus {
+	if in.busv == nil {
+		in.busv = obs.New()
+		in.Net.SetBus(in.busv)
+		if in.CC != nil {
+			in.CC.SetBus(in.busv)
+		}
+	}
+	return in.busv
 }
 
 // TreeReport reconstructs the congestion trees observed by the run.

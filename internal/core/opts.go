@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/par"
 )
 
@@ -36,6 +37,12 @@ type Opts struct {
 	// serialized by the driver but arrive in completion order, not
 	// submission order.
 	OnResult func(s Scenario, r *Result, cached bool)
+	// Check runs every fresh simulation under the runtime invariant
+	// checker (internal/check) at its default configuration; a run with
+	// violations fails the sweep. Checking does not perturb
+	// trajectories, so results stay bit-identical to an unchecked
+	// sweep.
+	Check bool
 }
 
 // WorkersAll requests one worker per available CPU (the pool resolves
@@ -68,7 +75,15 @@ func runBatch(o Opts, scenarios []Scenario) ([]*Result, error) {
 		}
 		if !cached {
 			var err error
-			if r, err = Run(s); err != nil {
+			if o.Check {
+				var rep *check.Report
+				if r, rep, err = RunChecked(s, CheckOpts{}); err == nil {
+					err = rep.Err()
+				}
+			} else {
+				r, err = Run(s)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}

@@ -28,9 +28,10 @@ func RunTableII(base Scenario) (*TableII, error) {
 	return RunTableIIOpts(base, Opts{})
 }
 
-// RunTableIIOpts is RunTableII with execution options; the table's four
-// configurations are independent and run concurrently under Workers>1.
-func RunTableIIOpts(base Scenario, o Opts) (*TableII, error) {
+// TableIIScenarios derives Table II's four configurations (hotspots
+// off/on × CC off/on, in the table's row order) from one base scenario.
+// The differential kernel check reuses them as its validation corpus.
+func TableIIScenarios(base Scenario) []Scenario {
 	configs := []struct{ ccOn, cActive bool }{
 		{false, false}, {true, false}, {false, true}, {true, true},
 	}
@@ -43,7 +44,13 @@ func RunTableIIOpts(base Scenario, o Opts) (*TableII, error) {
 		s.Name = fmt.Sprintf("tableII cc=%v hotspots=%v", c.ccOn, c.cActive)
 		scenarios[i] = s
 	}
-	results, err := runBatch(o, scenarios)
+	return scenarios
+}
+
+// RunTableIIOpts is RunTableII with execution options; the table's four
+// configurations are independent and run concurrently under Workers>1.
+func RunTableIIOpts(base Scenario, o Opts) (*TableII, error) {
+	results, err := runBatch(o, TableIIScenarios(base))
 	if err != nil {
 		return nil, err
 	}

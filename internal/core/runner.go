@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/cc"
+	"repro/internal/check"
 	"repro/internal/fabric"
 	"repro/internal/ib"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -58,6 +60,14 @@ type Instance struct {
 
 	collector *metrics.Collector
 	executed  bool
+	// sources holds the generators in LID order (nil entries for idle
+	// nodes); the invariant checker's custody census walks them.
+	sources []*traffic.Generator
+	// busv is the lazily created flight-recorder bus shared by Observe
+	// and Check.
+	busv *obs.Bus
+	// checker, when non-nil, drives Execute's run loop in sweep windows.
+	checker *check.Checker
 }
 
 // Run executes one scenario end to end.
@@ -107,6 +117,7 @@ func Build(s Scenario) (*Instance, error) {
 	pop := assignRoles(&s, root.Derive(1))
 	targeters := buildTargeters(&s, &pop, root.Derive(2))
 
+	sources := make([]*traffic.Generator, s.NumNodes())
 	for node := 0; node < s.NumNodes(); node++ {
 		role := pop.Roles[node]
 		if role == RoleC && !s.CNodesActive {
@@ -139,6 +150,7 @@ func Build(s Scenario) (*Instance, error) {
 			return nil, fmt.Errorf("core: node %d: %w", node, err)
 		}
 		net.HCA(ib.LID(node)).SetSource(gen)
+		sources[node] = gen
 	}
 
 	collector := metrics.NewCollector(net, sim.Time(0).Add(s.Warmup))
@@ -148,6 +160,7 @@ func Build(s Scenario) (*Instance, error) {
 		CC:        mgr,
 		Pop:       pop,
 		collector: collector,
+		sources:   sources,
 	}, nil
 }
 
@@ -161,7 +174,12 @@ func (in *Instance) Execute() *Result {
 	s := &in.Scenario
 	simr := in.Net.Sim()
 	in.Net.Start()
-	simr.RunUntil(sim.Time(0).Add(s.Warmup + s.Measure))
+	end := sim.Time(0).Add(s.Warmup + s.Measure)
+	if in.checker != nil {
+		in.checker.Run(end)
+	} else {
+		simr.RunUntil(end)
+	}
 
 	rates := in.collector.Rates()
 	res := &Result{

@@ -23,6 +23,9 @@ func (a *arrivalAct) Act() {
 	net, dst, p := a.net, a.dst, a.p
 	a.dst, a.p = nil, nil
 	net.arrPool = append(net.arrPool, a)
+	if net.aud != nil {
+		net.aud.WirePackets--
+	}
 	dst.arrive(p)
 }
 
@@ -37,6 +40,9 @@ func (n *Network) scheduleArrival(d sim.Duration, dst packetTaker, p *ib.Packet)
 		a = &arrivalAct{net: n}
 	}
 	a.dst, a.p = dst, p
+	if n.aud != nil {
+		n.aud.WirePackets++
+	}
 	n.simr.ScheduleAction(d, a)
 }
 

@@ -35,6 +35,11 @@ type Network struct {
 	// Recycled per-packet event actions (see actions.go).
 	arrPool []*arrivalAct
 	crdPool []*creditAct
+
+	// aud, when non-nil, maintains the wire-custody counter the runtime
+	// invariant checker reads; nil (the default) keeps the transmission
+	// hot path audit-free apart from the nil check (see audit.go).
+	aud *AuditCounters
 }
 
 // New wires up the fabric. Hooks may be zero; sources are attached per

@@ -81,6 +81,17 @@ func (pp *PacketPool) Stats() PoolStats {
 	return pp.stats
 }
 
+// Live reports how many acquired packets are currently outstanding
+// (Gets − Puts): every packet some model component owns right now. The
+// runtime invariant checker balances it against a walk of all holding
+// sites to detect leaks and double releases.
+func (pp *PacketPool) Live() int {
+	if pp == nil {
+		return 0
+	}
+	return int(pp.stats.Gets - pp.stats.Puts)
+}
+
 // FreeLen reports how many released packets the pool currently holds.
 func (pp *PacketPool) FreeLen() int {
 	if pp == nil {

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+)
+
+// Digest is an order-sensitive FNV-1a fingerprint over every consumed
+// event, hashed field by field in a fixed order: two runs produce the
+// same digest iff their event streams are identical in content and
+// order. It is the trajectory comparator shared by the determinism
+// golden test and the differential kernel check (timing wheel vs
+// sim.ReferenceFEL).
+//
+// The field order and byte packing below are pinned by the committed
+// golden file (internal/core/testdata/determinism_golden.json):
+// changing either invalidates every recorded digest.
+type Digest struct {
+	h   hash.Hash64
+	n   uint64
+	buf [8]byte
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: fnv.New64a()} }
+
+func (d *Digest) hash8(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.buf[i] = byte(v >> (8 * i))
+	}
+	d.h.Write(d.buf[:])
+}
+
+func digestBool(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Consume implements Consumer.
+func (d *Digest) Consume(e Event) {
+	d.n++
+	d.hash8(uint64(e.Kind))
+	d.hash8(digestBool(e.Switch) | digestBool(e.Hotspot)<<1 | digestBool(e.HostPort)<<2 | digestBool(e.FECN)<<3 | digestBool(e.BECN)<<4)
+	d.hash8(uint64(e.Type))
+	d.hash8(uint64(e.VL))
+	d.hash8(uint64(e.Time))
+	d.hash8(uint64(int64(e.Node)))
+	d.hash8(uint64(int64(e.Port)))
+	d.hash8(e.PktID)
+	d.hash8(uint64(int64(e.Src)))
+	d.hash8(uint64(int64(e.Dst)))
+	d.hash8(uint64(int64(e.Bytes)))
+	d.hash8(uint64(int64(e.QueuedBytes)))
+	d.hash8(uint64(int64(e.CreditBytes)))
+	d.hash8(uint64(e.OldCCTI)<<16 | uint64(e.NewCCTI))
+}
+
+// Records returns how many events have been hashed.
+func (d *Digest) Records() uint64 { return d.n }
+
+// Sum64 returns the current digest value.
+func (d *Digest) Sum64() uint64 { return d.h.Sum64() }
+
+// Sum returns the digest in the fixed-width hex form the golden file
+// and the differential reports store.
+func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.Sum64()) }

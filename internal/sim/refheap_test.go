@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReferenceFELOrder pins the reference kernel to the same eventLess
+// contract the wheel honors: random (time, seq) pushes pop in exact
+// (time, then insertion) order.
+func TestReferenceFELOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := &ReferenceFEL{}
+	const n = 2000
+	for seq := uint64(0); seq < n; seq++ {
+		h.push(&Event{time: Time(rng.Int63n(50)) * Time(Microsecond), seq: seq})
+	}
+	var last *Event
+	for i := 0; i < n; i++ {
+		e := h.pop()
+		if e == nil {
+			t.Fatalf("heap empty after %d pops, want %d", i, n)
+		}
+		if last != nil && eventLess(e, last) {
+			t.Fatalf("pop %d out of order: (%v,%d) after (%v,%d)", i, e.time, e.seq, last.time, last.seq)
+		}
+		last = e
+	}
+	if h.pop() != nil || h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+// TestReferenceKernelIdenticalTrajectory runs the same randomized
+// schedule/cancel workload on a wheel-kernel simulator and a
+// reference-kernel simulator and requires identical execution
+// sequences — the kernel-switch contract the differential mode
+// (core.RunDifferential) relies on.
+func TestReferenceKernelIdenticalTrajectory(t *testing.T) {
+	run := func(useRef bool) []uint64 {
+		s := New()
+		if useRef {
+			s.UseReferenceFEL()
+			if !s.UsingReferenceFEL() {
+				t.Fatal("reference kernel not active")
+			}
+		}
+		rng := rand.New(rand.NewSource(42))
+		var got []uint64
+		var cancellable []*Event
+		budget := 20000 // total schedules, so the workload terminates
+		var step func()
+		step = func() {
+			// A mix of near, same-slot, and far-future (overflow-era)
+			// delays, with occasional cancellations.
+			for i := 0; i < 2+rng.Intn(2) && budget > 0; i++ {
+				budget--
+				var d Duration
+				switch rng.Intn(4) {
+				case 0:
+					d = Duration(rng.Int63n(int64(16 * Nanosecond)))
+				case 1:
+					d = Duration(rng.Int63n(int64(Microsecond)))
+				case 2:
+					d = Duration(rng.Int63n(int64(200 * Microsecond)))
+				default:
+					d = 0
+				}
+				e := s.Schedule(d, step)
+				if rng.Intn(5) == 0 {
+					cancellable = append(cancellable, e)
+				}
+			}
+			if len(cancellable) > 0 && rng.Intn(3) == 0 {
+				s.Cancel(cancellable[rng.Intn(len(cancellable))])
+			}
+		}
+		s.Schedule(0, step)
+		s.SetExecHook(func(tm Time, seq uint64) {
+			got = append(got, uint64(tm), seq)
+		})
+		s.RunUntil(Time(0).Add(400 * Microsecond))
+		return got
+	}
+	wheel, ref := run(false), run(true)
+	if len(wheel) != len(ref) {
+		t.Fatalf("trajectory lengths differ: wheel %d, reference %d", len(wheel), len(ref))
+	}
+	if len(wheel) == 0 {
+		t.Fatal("no events executed")
+	}
+	for i := range wheel {
+		if wheel[i] != ref[i] {
+			t.Fatalf("trajectories diverge at record %d: wheel %d, reference %d", i, wheel[i], ref[i])
+		}
+	}
+}
+
+// TestUseReferenceFELMigratesPending covers the build-time switch: an
+// instance already carries scheduled events (e.g. the metrics
+// collector's warmup snapshot) when the kernel is selected, and those
+// must migrate across without changing the trajectory.
+func TestUseReferenceFELMigratesPending(t *testing.T) {
+	s := New()
+	var got []int
+	for i, d := range []Duration{30 * Nanosecond, 10 * Nanosecond, 500 * Microsecond, 10 * Nanosecond} {
+		i := i
+		s.Schedule(d, func() { got = append(got, i) })
+	}
+	pending := s.Pending()
+	s.UseReferenceFEL()
+	if s.Pending() != pending {
+		t.Fatalf("migration changed pending count: %d -> %d", pending, s.Pending())
+	}
+	s.UseReferenceFEL() // idempotent
+	s.Run()
+	want := []int{1, 3, 0, 2} // (time, seq) order
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestUseReferenceFELWhileRunningPanics pins the guard: the kernel may
+// not be swapped underneath an executing event.
+func TestUseReferenceFELWhileRunningPanics(t *testing.T) {
+	s := New()
+	s.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("UseReferenceFEL inside Run did not panic")
+			}
+		}()
+		s.UseReferenceFEL()
+	})
+	s.Run()
+}
+
+// TestExecHookObservesFIFO verifies the exec hook reports every
+// executed event in exact eventLess order and that uninstalling it
+// stops the reports.
+func TestExecHookObservesFIFO(t *testing.T) {
+	s := New()
+	act := &nopAction{}
+	for i := 0; i < 500; i++ {
+		s.ScheduleAction(Duration(i%7)*Microsecond, act)
+	}
+	var lastT Time
+	var lastSeq uint64
+	seen := 0
+	s.SetExecHook(func(tm Time, seq uint64) {
+		if seen > 0 && (tm < lastT || (tm == lastT && seq <= lastSeq)) {
+			t.Fatalf("hook saw (%v,%d) after (%v,%d)", tm, seq, lastT, lastSeq)
+		}
+		lastT, lastSeq = tm, seq
+		seen++
+	})
+	s.Run()
+	if seen != 500 {
+		t.Fatalf("hook saw %d events, want 500", seen)
+	}
+	s.SetExecHook(nil)
+	s.ScheduleAction(Microsecond, act)
+	s.Run()
+	if seen != 500 {
+		t.Fatal("uninstalled hook still firing")
+	}
+}

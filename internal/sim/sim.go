@@ -27,6 +27,17 @@ type Simulator struct {
 	// Processed counts events executed since construction (dead events
 	// discarded from the queue are not counted).
 	processed uint64
+
+	// ref, when non-nil, replaces the timing wheel with the reference
+	// binary-heap kernel (see refheap.go). The default wheel path pays
+	// one nil check per queue operation for the switch.
+	ref *ReferenceFEL
+
+	// execHook, when non-nil, observes every executed event's
+	// (time, seq) just before its callback runs; the invariant checker
+	// uses it to assert FIFO order out of the FEL. When unset the run
+	// loop pays a single nil check per event.
+	execHook func(t Time, seq uint64)
 }
 
 // New returns a Simulator with the clock at time zero.
@@ -44,7 +55,19 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events in the future-event list,
 // including cancelled events not yet discarded.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+func (s *Simulator) Pending() int {
+	if s.ref != nil {
+		return s.ref.Len()
+	}
+	return s.queue.Len()
+}
+
+// SetExecHook installs fn to be called with every executed event's
+// (time, seq) immediately before its callback runs; nil uninstalls it.
+// The hook must not touch the simulator. It exists for the runtime
+// invariant checker's FEL-order probe and costs unhooked runs one nil
+// check per event.
+func (s *Simulator) SetExecHook(fn func(t Time, seq uint64)) { s.execHook = fn }
 
 // PeakPending returns the high-water mark of the future-event list over
 // the simulator's lifetime; it sizes the event recycle pool.
@@ -87,10 +110,15 @@ func (s *Simulator) ScheduleActionAt(t Time, a Action) *Event {
 	return e
 }
 
-// push inserts the event and tracks the pending high-water mark.
+// push inserts the event into the active kernel and tracks the pending
+// high-water mark.
 func (s *Simulator) push(e *Event) {
-	s.queue.push(e)
-	if n := s.queue.Len(); n > s.peakPending {
+	if s.ref != nil {
+		s.ref.push(e)
+	} else {
+		s.queue.push(e)
+	}
+	if n := s.Pending(); n > s.peakPending {
 		s.peakPending = n
 	}
 }
@@ -163,7 +191,12 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 
 	var n uint64
 	for !s.stopped {
-		e := s.queue.peek()
+		var e *Event
+		if s.ref != nil {
+			e = s.ref.peek()
+		} else {
+			e = s.queue.peek()
+		}
 		if e == nil {
 			break
 		}
@@ -173,12 +206,19 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 			}
 			return n
 		}
-		s.queue.pop()
+		if s.ref != nil {
+			s.ref.pop()
+		} else {
+			s.queue.pop()
+		}
 		if e.dead {
 			s.release(e)
 			continue
 		}
 		s.now = e.time
+		if s.execHook != nil {
+			s.execHook(e.time, e.seq)
+		}
 		fn, act := e.fn, e.act
 		s.release(e)
 		if act != nil {
@@ -189,7 +229,7 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 		n++
 		s.processed++
 	}
-	if end != MaxTime && s.now < end && s.queue.Len() == 0 && !s.stopped {
+	if end != MaxTime && s.now < end && s.Pending() == 0 && !s.stopped {
 		s.now = end
 	}
 	return n

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTCrit95ApproximationBoundary pins the exact-vs-approximation
+// boundary of the Student-t critical value: the table ends at df=30, and
+// everything beyond uses 1.960 + 2.5/df, documented as accurate to
+// 0.3%. The reference values are the true two-sided 95% quantiles
+// (Abramowitz & Stegun / R qt(0.975, df) to 4 decimals), so this test
+// fails if either the cutoff moves without re-validating the claim or
+// the approximation degrades.
+func TestTCrit95ApproximationBoundary(t *testing.T) {
+	truth := map[int]float64{
+		31:   2.0395,
+		40:   2.0211,
+		50:   2.0086,
+		60:   2.0003,
+		80:   1.9901,
+		100:  1.9840,
+		120:  1.9799,
+		200:  1.9719,
+		500:  1.9647,
+		1000: 1.9623,
+	}
+	for df, want := range truth {
+		got := tCrit95(df)
+		if relErr := math.Abs(got-want) / want; relErr > 0.003 {
+			t.Errorf("tCrit95(%d) = %.5f, true %.5f: error %.3f%% exceeds the documented 0.3%%",
+				df, got, want, relErr*100)
+		}
+	}
+}
+
+// TestTCrit95TableValues spot-checks the tabulated small-df region
+// against the standard table.
+func TestTCrit95TableValues(t *testing.T) {
+	truth := map[int]float64{1: 12.706, 2: 4.303, 5: 2.571, 10: 2.228, 20: 2.086, 30: 2.042}
+	for df, want := range truth {
+		if got := tCrit95(df); got != want {
+			t.Errorf("tCrit95(%d) = %v, table says %v", df, got, want)
+		}
+	}
+}
+
+// TestTCrit95ContinuityAndMonotonicity verifies no jump at the
+// table-to-approximation handoff and that the critical value decreases
+// monotonically toward the normal quantile.
+func TestTCrit95ContinuityAndMonotonicity(t *testing.T) {
+	if gap := tCrit95(30) - tCrit95(31); gap < 0 || gap > 0.01 {
+		t.Errorf("handoff gap tCrit95(30)-tCrit95(31) = %.5f, want a small positive step", gap)
+	}
+	prev := tCrit95(1)
+	for df := 2; df <= 2000; df++ {
+		cur := tCrit95(df)
+		if cur > prev {
+			t.Fatalf("tCrit95 not monotone: df=%d gives %.5f > %.5f at df=%d", df, cur, prev, df-1)
+		}
+		prev = cur
+	}
+	if lim := tCrit95(1 << 20); math.Abs(lim-1.960) > 0.002 {
+		t.Errorf("large-df limit %.5f, want ~1.960", lim)
+	}
+}
+
+// TestTCrit95InvalidDF pins the degenerate contract.
+func TestTCrit95InvalidDF(t *testing.T) {
+	if !math.IsNaN(tCrit95(0)) || !math.IsNaN(tCrit95(-3)) {
+		t.Error("non-positive df must return NaN")
+	}
+}

@@ -162,6 +162,18 @@ func (g *Generator) GeneratedBytes() (hotspot, uniform int64) {
 	return
 }
 
+// PendingPackets returns how many generated packets sit in the flow
+// queues awaiting injection. Together with the fabric's custody census
+// it closes the packet conservation law the runtime invariant checker
+// sweeps: every live pool packet is either here or held by the fabric.
+func (g *Generator) PendingPackets() int {
+	n := 0
+	for _, fl := range g.flows {
+		n += len(fl.q)
+	}
+	return n
+}
+
 // Pull implements fabric.Source.
 func (g *Generator) Pull(now sim.Time) (*ib.Packet, sim.Time) {
 	g.refill(now)
