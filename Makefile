@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race invariants bench bench-obs bench-kernel paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants degradation bench bench-obs bench-kernel paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -42,6 +42,16 @@ invariants:
 	$(GO) test -count=1 ./internal/check
 	$(GO) test -count=1 ./internal/core -run 'Kernel|Check|Differential'
 	$(GO) run ./cmd/paperbench -radix 8 -diff-kernel -seeds 2
+
+# Fault-injection smoke: the fault-layer unit suites, then a tiny
+# graceful-degradation sweep (2 seeds, zero + nonzero intensity) through
+# the paperbench CLI under the invariant checker — end to end over the
+# Dropped custody ledger.
+degradation:
+	$(GO) test -count=1 ./internal/fault ./internal/fabric -run 'Fault|Drop|Link'
+	$(GO) test -count=1 ./internal/core -run 'Fault|ZeroIntensity|CCSurvives|Degradation'
+	$(GO) run ./cmd/paperbench -radix 8 -degradation /tmp/ibcc-degradation.json \
+		-intensities 0,0.6 -seeds 2 -check
 
 bench:
 	$(GO) test -bench=. -benchmem

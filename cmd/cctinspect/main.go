@@ -10,6 +10,7 @@
 //
 //	cctinspect -threshold 3
 //	cctinspect -run -radix 12 -fracb 100 -p 60 -interval 500us
+//	cctinspect -run -check    # the same, audited by the invariant checker
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/ib"
@@ -40,6 +42,7 @@ func main() {
 		pShare   = flag.Int("p", 0, "hotspot share of B nodes in the -run scenario")
 		measure  = flag.Duration("measure", 3*time.Millisecond, "-run measurement window (after a 2ms warmup)")
 		interval = flag.Duration("interval", 500*time.Microsecond, "-run table bucket size")
+		checkInv = flag.Bool("check", false, "run the -run scenario under the runtime invariant checker; exit non-zero on violations")
 	)
 	flag.Parse()
 
@@ -95,15 +98,16 @@ func main() {
 		fmt.Println()
 		if err := runTable(p, *radix, *fracB, *pShare,
 			sim.Duration(measure.Nanoseconds())*sim.Nanosecond,
-			sim.Duration(interval.Nanoseconds())*sim.Nanosecond); err != nil {
+			sim.Duration(interval.Nanoseconds())*sim.Nanosecond, *checkInv); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
 // runTable simulates the scenario under params and prints the
-// CCTI-over-time table from the flight recorder's CCTI log.
-func runTable(params cc.Params, radix, fracB, p int, measure, interval sim.Duration) error {
+// CCTI-over-time table from the flight recorder's CCTI log, optionally
+// under the runtime invariant checker.
+func runTable(params cc.Params, radix, fracB, p int, measure, interval sim.Duration, checkInv bool) error {
 	s := core.Default(radix)
 	s.CC = params
 	s.FracBPct = fracB
@@ -115,9 +119,23 @@ func runTable(params cc.Params, radix, fracB, p int, measure, interval sim.Durat
 		return err
 	}
 	ob := in.Observe(core.ObserveOpts{CCTILog: true})
+	var ck *check.Checker
+	if checkInv {
+		ck = in.Check(core.CheckOpts{Diagnostics: os.Stderr})
+	}
 	res := in.Execute()
 	fmt.Printf("run: %s, B=%d%% p=%d%%, %d CCTI steps recorded (fecn=%d becn=%d maxCCTI=%d)\n",
 		s.Name, fracB, p, len(ob.CCTI.Samples),
 		res.CCStats.FECNMarked, res.CCStats.BECNReceived, res.CCStats.MaxCCTI)
+	if ck != nil {
+		rep := ck.Report()
+		fmt.Printf("check: %s\n", rep.Summary())
+		if err := rep.Err(); err != nil {
+			for _, v := range rep.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+			return err
+		}
+	}
 	return ob.CCTI.WriteTable(os.Stdout, interval, sim.Time(0).Add(s.Warmup+s.Measure))
 }

@@ -8,6 +8,7 @@
 //	ibccsim -out results/                        # save a JSON artifact
 //	ibccsim -radix 12 -ctree                     # print the congestion trees
 //	ibccsim -chrome-trace run.trace              # flight recording for Perfetto
+//	ibccsim -faults plan.json -check             # inject a fault plan, audited
 //
 // With -seeds N > 1 the scenario runs once per seed (seed, seed+1, ...)
 // fanned out over -jobs workers, and the mean rates with 95% confidence
@@ -53,6 +54,7 @@ func main() {
 		chrome   = flag.String("chrome-trace", "", "write a Chrome trace_event file (open in Perfetto) to this file")
 		ctree    = flag.Bool("ctree", false, "reconstruct the congestion trees from the event bus and print them")
 		checkInv = flag.Bool("check", false, "run under the runtime invariant checker; exit non-zero on violations")
+		faults   = flag.String("faults", "", "JSON fault plan: inject link faults and wire loss from this file")
 	)
 	flag.Parse()
 
@@ -66,6 +68,19 @@ func main() {
 	s.HotspotLifetime = ibcc.Duration(lifetime.Nanoseconds()) * ibcc.Nanosecond
 	s.Warmup = ibcc.Duration(warmup.Nanoseconds()) * ibcc.Nanosecond
 	s.Measure = ibcc.Duration(measure.Nanoseconds()) * ibcc.Nanosecond
+
+	if *faults != "" {
+		f, err := os.Open(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := ibcc.DecodeFaultPlan(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Faults = plan
+	}
 
 	var store *ibcc.ArtifactStore
 	if *out != "" {
@@ -195,10 +210,28 @@ func main() {
 	fmt.Printf("engine   : %d events in %v (%.1fM events/s)\n",
 		res.Events, elapsed.Round(time.Millisecond),
 		float64(res.Events)/elapsed.Seconds()/1e6)
+	reportFaults(res.Faults)
 	reportCheck(ck, *quiet)
 	if *ctree {
 		ob.TreeReport().WriteTo(os.Stdout)
 	}
+}
+
+// reportFaults prints what the fault injector did (nil = no plan).
+func reportFaults(st *ibcc.FaultStats) {
+	if st == nil {
+		return
+	}
+	fmt.Printf("faults   : dropped data=%d fecn=%d cnp=%d ack=%d, credits deferred=%d, link downs/ups=%d/%d",
+		st.DroppedData, st.DroppedFECN, st.DroppedCNP, st.DroppedAck,
+		st.DroppedCredits, st.LinkDowns, st.LinkUps)
+	switch {
+	case st.Recovery > 0:
+		fmt.Printf(", recovered %v after last fault", st.Recovery)
+	case st.Recovery < 0:
+		fmt.Printf(", NOT recovered within horizon")
+	}
+	fmt.Println()
 }
 
 // reportCheck prints the invariant checker's verdict (nil ck = checker
@@ -215,8 +248,7 @@ func reportCheck(ck interface{ Report() *ibcc.InvariantReport }, quiet bool) {
 		log.Fatal(err)
 	}
 	if !quiet {
-		fmt.Printf("check    : clean (%d sweeps, %d events probed, %d CCTI steps validated)\n",
-			rep.Sweeps, rep.EventsChecked, rep.CCTISteps)
+		fmt.Printf("check    : %s\n", rep.Summary())
 	}
 }
 

@@ -12,6 +12,7 @@
 //	paperbench -bench-kernel BENCH_kernel.json  # event-kernel + packet-lifecycle benchmark
 //	paperbench -diff-kernel         # timing wheel vs reference heap, byte-identical check
 //	paperbench -check -exp table2   # run experiments under the invariant checker
+//	paperbench -degradation deg.json -seeds 3   # fault-intensity sweep, JSON artifact
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -26,12 +27,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,6 +71,8 @@ func main() {
 		events   = flag.String("events", "", "flight-record the base scenario: JSONL event log to this file, then exit")
 		chrome   = flag.String("chrome-trace", "", "flight-record the base scenario: Chrome trace to this file, then exit")
 		ctree    = flag.Bool("ctree", false, "flight-record the base scenario: print its congestion trees, then exit")
+		degrade  = flag.String("degradation", "", "graceful-degradation sweep (fault intensity x CC on/off): write the JSON artifact here, then exit")
+		intens   = flag.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities for -degradation")
 	)
 	flag.Parse()
 
@@ -108,6 +113,13 @@ func main() {
 	workers := *jobs
 	if workers <= 0 {
 		workers = ibcc.WorkersAll
+	}
+
+	if *degrade != "" {
+		if err := runDegradation(base, *degrade, *intens, *seeds, workers, *checkInv); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	var store *ibcc.ArtifactStore
 	if *out != "" {
@@ -269,6 +281,56 @@ func main() {
 	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
 }
 
+// runDegradation is the graceful-degradation mode: fault plans of
+// increasing intensity are synthesized per (intensity, seed), each one
+// runs with CC off and on, and the receive-rate / recovery curves are
+// printed and written as a JSON artifact. Intensity 0 is the unfaulted
+// baseline (a zero plan is treated as absent), so the curve starts at
+// the healthy operating point.
+func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool) error {
+	var ins []float64
+	for _, f := range strings.Split(intensities, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("-intensities: %w", err)
+		}
+		ins = append(ins, v)
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = base.Seed + uint64(i)
+	}
+
+	start := time.Now()
+	pts, err := ibcc.RunDegradationOpts(base, ins, seedList, ibcc.RunOpts{Workers: workers, Check: checked})
+	if err != nil {
+		return err
+	}
+	ibcc.PrintDegradation(os.Stdout, pts)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Scenario string                  `json:"scenario"`
+		Radix    int                     `json:"radix"`
+		Seeds    []uint64                `json:"seeds"`
+		Points   []ibcc.DegradationPoint `json:"points"`
+	}{base.Name, base.Radix, seedList, pts}); err != nil {
+		return err
+	}
+	fmt.Printf("degradation: %d intensities x %d seeds x 2 CC legs in %v -> %s\n",
+		len(ins), seeds, time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
 // runDiffKernel is the differential kernel validation mode: every
 // Table II configuration of the base scenario, over the given number of
 // seeds, runs on both event-list kernels (production timing wheel and
@@ -303,6 +365,7 @@ func runDiffKernel(base ibcc.Scenario, seeds int) error {
 			}
 			fmt.Printf("%-40s seed %-3d digest %s  %8d records  %-6s\n",
 				s.Name, s0.Seed, d.Wheel.Digest, d.Wheel.Records, status)
+			fmt.Printf("    check: %s\n", rep.Summary())
 			if !d.Match() {
 				for _, m := range d.Mismatches() {
 					fmt.Printf("    %s\n", m)

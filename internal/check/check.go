@@ -110,6 +110,16 @@ func (r *Report) Err() error {
 	return fmt.Errorf("check: %d invariant violation(s), first: %s", r.Total, r.Violations[0])
 }
 
+// Summary renders the one-line audit outcome every command prints, so
+// a clean run reads identically whichever binary produced it.
+func (r *Report) Summary() string {
+	if r.Total == 0 {
+		return fmt.Sprintf("clean (%d sweeps, %d events probed, %d CCTI steps validated)",
+			r.Sweeps, r.EventsChecked, r.CCTISteps)
+	}
+	return fmt.Sprintf("%d violation(s) in %d sweeps, first: %s", r.Total, r.Sweeps, r.Violations[0])
+}
+
 // Checker validates a running simulation. Create with New, optionally
 // Attach to the run's flight-recorder bus, then drive the run through
 // Run instead of calling sim.Simulator.RunUntil directly.
@@ -136,8 +146,18 @@ type Checker struct {
 	// is attached to a bus.
 	reg *obs.Registry
 
+	// faultRing holds the most recent fault-layer events (link state
+	// transitions and wire drops) so a watchdog or violation dump can
+	// show what the fault injector did just before the failure.
+	faultRing []obs.Event
+	faultNext int
+	faultSeen uint64
+
 	dumped bool
 }
+
+// faultRingSize bounds the recent-fault-event window kept for dumps.
+const faultRingSize = 16
 
 // New builds a checker for the target, switching on the fabric's
 // wire-custody audit (which therefore must happen before the network
@@ -172,12 +192,26 @@ func New(t Target, cfg Config) *Checker {
 // not perturb the trajectory.
 func (c *Checker) Attach(bus *obs.Bus) {
 	bus.Subscribe(obs.ConsumerFunc(c.consumeCCTI), obs.KindCCTIChanged)
+	bus.Subscribe(obs.ConsumerFunc(c.consumeFault),
+		obs.KindLinkDown, obs.KindLinkUp, obs.KindPacketDropped)
 	nv := 1
 	if c.t.Net != nil {
 		nv = c.t.Net.Config().NumVLs
 	}
 	c.reg = obs.NewRegistry(nv)
 	c.reg.Attach(bus)
+}
+
+// consumeFault records fault-layer events into the bounded ring dumps
+// read from.
+func (c *Checker) consumeFault(e obs.Event) {
+	c.faultSeen++
+	if len(c.faultRing) < faultRingSize {
+		c.faultRing = append(c.faultRing, e)
+		return
+	}
+	c.faultRing[c.faultNext] = e
+	c.faultNext = (c.faultNext + 1) % faultRingSize
 }
 
 // Run drives the simulation to end in Config.Window steps, sweeping the
@@ -292,14 +326,22 @@ func (c *Checker) sweep(now sim.Time) {
 				c.violate(now, "conservation", "pool live %d != fabric held %d + source pending %d (census %v)",
 					live, held, pending, c.t.Net.Census())
 			}
-			// Pool accounting: the host sink is the packet lifecycle's
-			// only release site, so releases and sink deliveries agree.
+			// Pool accounting: the host sink releases every delivered
+			// packet and the fault layer releases every wire-dropped
+			// one; those are the only two release sites, so releases
+			// equal deliveries plus intentional drops (the Dropped
+			// audit column).
 			var rx uint64
 			for lid := 0; lid < c.t.Net.NumHosts(); lid++ {
 				rx += c.t.Net.HCA(ib.LID(lid)).Counters().RxPackets
 			}
-			if puts := c.t.Pool.Stats().Puts; puts != rx {
-				c.violate(now, "pool-accounting", "pool puts %d != delivered packets %d", puts, rx)
+			var dropped uint64
+			if aud := c.t.Net.Audit(); aud != nil {
+				dropped = uint64(aud.DroppedPackets)
+			}
+			if puts := c.t.Pool.Stats().Puts; puts != rx+dropped {
+				c.violate(now, "pool-accounting", "pool puts %d != delivered %d + fault-dropped %d",
+					puts, rx, dropped)
 			}
 		}
 		if err := c.t.Net.CheckCreditBounds(); err != nil {
@@ -371,6 +413,32 @@ func (c *Checker) dump(w io.Writer) {
 		if k, pc := c.reg.HottestPort(); pc != nil {
 			fmt.Fprintf(w, "check: hottest port %v: %d marks, peak queue %d bytes\n",
 				k, pc.FECNMarks, pc.PeakQueuedBytes)
+		}
+	}
+	if c.faultSeen > 0 {
+		if c.t.Net != nil {
+			if aud := c.t.Net.Audit(); aud != nil {
+				fmt.Fprintf(w, "check: fault drops data=%d fecn=%d cnp=%d ack=%d credits=%d\n",
+					aud.DroppedData, aud.DroppedFECN, aud.DroppedCNP, aud.DroppedAck, aud.DroppedCredits)
+			}
+		}
+		fmt.Fprintf(w, "check: last %d of %d fault events:\n", len(c.faultRing), c.faultSeen)
+		for i := 0; i < len(c.faultRing); i++ {
+			e := c.faultRing[(c.faultNext+i)%len(c.faultRing)]
+			where := fmt.Sprintf("host%d", e.Node)
+			if e.Switch {
+				where = fmt.Sprintf("sw%d.p%d", e.Node, e.Port)
+			}
+			switch {
+			case e.Kind != obs.KindPacketDropped:
+				fmt.Fprintf(w, "check:   [%v] %s at %s\n", e.Time, e.Kind, where)
+			case e.PktID > 0:
+				fmt.Fprintf(w, "check:   [%v] dropped %s %d->%d (%d bytes) at %s\n",
+					e.Time, e.Type, e.Src, e.Dst, e.Bytes, where)
+			default:
+				fmt.Fprintf(w, "check:   [%v] dropped credit update vl%d (%d bytes) at %s\n",
+					e.Time, e.VL, e.CreditBytes, where)
+			}
 		}
 	}
 }

@@ -185,6 +185,94 @@ func TestRunSweepsWindows(t *testing.T) {
 	}
 }
 
+// TestPoolAccountingWithDrops: releases by the fault layer are not
+// miscounted as leaks — puts == delivered + dropped balances — while a
+// release that matches neither side still fires the rule.
+func TestPoolAccountingWithDrops(t *testing.T) {
+	c, net := newFabric(t, Config{WatchdogAfter: -1})
+	aud := net.Audit() // New enabled it
+
+	// Two packets acquired and "wire-dropped" by the fault layer: the
+	// pool sees the puts, the sink saw nothing.
+	for i := 0; i < 2; i++ {
+		p := net.PacketPool().Get()
+		aud.DroppedPackets++
+		aud.DroppedData++
+		net.PacketPool().Put(p)
+	}
+	c.sweep(0)
+	if rep := c.Report(); rep.Total != 0 {
+		t.Fatalf("balanced drop ledger flagged: %v", rep.Violations)
+	}
+
+	// A put with no matching delivery or drop is a double release.
+	p := net.PacketPool().Get()
+	net.PacketPool().Put(p)
+	c.sweep(1)
+	wantRule(t, c, "pool-accounting")
+}
+
+// TestDumpShowsFaultEvents: when a fault plan was active, the watchdog
+// dump includes the recent fault events and the drop ledger.
+func TestDumpShowsFaultEvents(t *testing.T) {
+	var diag strings.Builder
+	c, net := newFabric(t, Config{WatchdogAfter: sim.Millisecond, Diagnostics: &diag})
+	aud := net.Audit()
+	bus := obs.New()
+	c.Attach(bus)
+	net.SetBus(bus)
+
+	// A link goes down and one packet is lost, then progress stops.
+	bus.LinkDown(100, true, 1, 2)
+	bus.PacketDropped(200, true, 1, 2, nil, 0, 2094)
+	aud.DroppedCredits++
+	for i := 0; i < 2; i++ {
+		_ = net.PacketPool().Get()
+	}
+	aud.WirePackets = 2
+	c.sweep(0)
+	c.sweep(sim.Time(0).Add(2 * sim.Millisecond))
+	wantRule(t, c, "watchdog")
+	for _, want := range []string{"link_down at sw1.p2", "dropped credit update", "credits=1", "fault events"} {
+		if !strings.Contains(diag.String(), want) {
+			t.Errorf("dump missing %q:\n%s", want, diag.String())
+		}
+	}
+}
+
+// TestFaultRingBounded: the ring keeps only the most recent events.
+func TestFaultRingBounded(t *testing.T) {
+	c := newBare(t, Config{})
+	bus := obs.New()
+	c.Attach(bus)
+	for i := 0; i < faultRingSize+5; i++ {
+		bus.LinkDown(sim.Time(i), false, i, 0)
+	}
+	if len(c.faultRing) != faultRingSize {
+		t.Fatalf("ring grew to %d", len(c.faultRing))
+	}
+	if c.faultSeen != faultRingSize+5 {
+		t.Fatalf("seen = %d", c.faultSeen)
+	}
+	oldest := c.faultRing[c.faultNext]
+	if oldest.Node != 5 {
+		t.Fatalf("oldest retained event is node %d, want 5", oldest.Node)
+	}
+}
+
+// TestReportSummary: the shared one-line form for clean and dirty runs.
+func TestReportSummary(t *testing.T) {
+	rep := &Report{Sweeps: 3, EventsChecked: 40, CCTISteps: 7}
+	if got := rep.Summary(); got != "clean (3 sweeps, 40 events probed, 7 CCTI steps validated)" {
+		t.Fatalf("Summary() = %q", got)
+	}
+	rep.Total = 2
+	rep.Violations = []Violation{{Time: 9, Rule: "watchdog", Detail: "stuck"}}
+	if got := rep.Summary(); !strings.Contains(got, "2 violation(s)") || !strings.Contains(got, "watchdog") {
+		t.Fatalf("Summary() = %q", got)
+	}
+}
+
 // TestReportErr checks the clean/dirty error contract and the violation
 // cap.
 func TestReportErr(t *testing.T) {

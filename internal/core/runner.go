@@ -6,6 +6,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/check"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -43,6 +44,9 @@ type Result struct {
 	RoleRxGbps [3]float64
 	// RoleTxGbps is the average injected-payload rate per role.
 	RoleTxGbps [3]float64
+	// Faults reports what the fault injector did, nil when the scenario
+	// carried no plan.
+	Faults *fault.Stats
 }
 
 // Instance is a fully assembled but not yet executed scenario. Build
@@ -68,6 +72,8 @@ type Instance struct {
 	busv *obs.Bus
 	// checker, when non-nil, drives Execute's run loop in sweep windows.
 	checker *check.Checker
+	// injector, when non-nil, executes the scenario's fault plan.
+	injector *fault.Injector
 }
 
 // Run executes one scenario end to end.
@@ -153,6 +159,16 @@ func Build(s Scenario) (*Instance, error) {
 		sources[node] = gen
 	}
 
+	// A nil or zero plan takes the exact code path a fault-free build
+	// always took: no injector, no dropper, bit-identical trajectory.
+	var inj *fault.Injector
+	if !s.Faults.Zero() {
+		inj, err = fault.NewInjector(net, s.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	collector := metrics.NewCollector(net, sim.Time(0).Add(s.Warmup))
 	return &Instance{
 		Scenario:  s,
@@ -161,6 +177,7 @@ func Build(s Scenario) (*Instance, error) {
 		Pop:       pop,
 		collector: collector,
 		sources:   sources,
+		injector:  inj,
 	}, nil
 }
 
@@ -207,6 +224,9 @@ func (in *Instance) Execute() *Result {
 	}
 	if in.CC != nil {
 		res.CCStats = in.CC.Stats()
+	}
+	if in.injector != nil {
+		res.Faults = in.injector.Stats()
 	}
 	return res
 }

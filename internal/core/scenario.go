@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,13 @@ type Scenario struct {
 	// the paper's introduction). The fabric is given a second VL
 	// automatically.
 	SeparateHotspotVL bool
+
+	// Faults, when non-nil and non-zero, is the deterministic fault-
+	// injection plan executed alongside the traffic (its own RNG
+	// stream, so traffic draws are untouched). The omitempty tag keeps
+	// the canonical JSON — and with it exp.Fingerprint — identical to
+	// pre-fault scenarios whenever no plan is set.
+	Faults *fault.Plan `json:"Faults,omitempty"`
 }
 
 // Default returns the paper's baseline configuration at the given radix:
@@ -121,6 +129,13 @@ func (s *Scenario) Validate() error {
 	}
 	if s.CCOn {
 		if err := s.CC.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Faults != nil {
+		// Structural validation only here; Build re-validates against
+		// the concrete link set once the fabric exists.
+		if err := s.Faults.Validate(nil); err != nil {
 			return err
 		}
 	}

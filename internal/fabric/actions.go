@@ -11,35 +11,58 @@ import (
 // their owners; per-packet arrivals and credit updates use small pooled
 // action structs recycled through the Network.
 
-// arrivalAct delivers a packet to a link's receiving endpoint.
+// arrivalAct delivers a packet to a link's receiving endpoint — or, when
+// the fault layer marked it lost at transmit time, discards it at the
+// same instant (src identifies the transmitter for the drop record).
 type arrivalAct struct {
-	net *Network
-	dst packetTaker
-	p   *ib.Packet
+	net  *Network
+	dst  packetTaker
+	p    *ib.Packet
+	src  *linkOut
+	drop bool
 }
 
 // Act implements sim.Action.
 func (a *arrivalAct) Act() {
-	net, dst, p := a.net, a.dst, a.p
-	a.dst, a.p = nil, nil
+	net, dst, p, src, drop := a.net, a.dst, a.p, a.src, a.drop
+	a.dst, a.p, a.src, a.drop = nil, nil, nil, false
 	net.arrPool = append(net.arrPool, a)
 	if net.aud != nil {
 		net.aud.WirePackets--
 	}
+	if drop {
+		net.dropped(src, dst, p)
+		return
+	}
 	dst.arrive(p)
+}
+
+func (n *Network) popArrival() *arrivalAct {
+	if k := len(n.arrPool); k > 0 {
+		a := n.arrPool[k-1]
+		n.arrPool[k-1] = nil
+		n.arrPool = n.arrPool[:k-1]
+		return a
+	}
+	return &arrivalAct{net: n}
 }
 
 // scheduleArrival enqueues a packet arrival after d.
 func (n *Network) scheduleArrival(d sim.Duration, dst packetTaker, p *ib.Packet) {
-	var a *arrivalAct
-	if k := len(n.arrPool); k > 0 {
-		a = n.arrPool[k-1]
-		n.arrPool[k-1] = nil
-		n.arrPool = n.arrPool[:k-1]
-	} else {
-		a = &arrivalAct{net: n}
-	}
+	a := n.popArrival()
 	a.dst, a.p = dst, p
+	if n.aud != nil {
+		n.aud.WirePackets++
+	}
+	n.simr.ScheduleAction(d, a)
+}
+
+// scheduleDrop enqueues a faulted packet's discard at what would have
+// been its arrival instant, so the wire-custody window is identical to a
+// delivered packet's.
+func (n *Network) scheduleDrop(d sim.Duration, src *linkOut, p *ib.Packet) {
+	a := n.popArrival()
+	a.dst, a.p, a.src, a.drop = src.dst, p, src, true
 	if n.aud != nil {
 		n.aud.WirePackets++
 	}
@@ -75,7 +98,15 @@ func (n *Network) sendCredit(taker creditTaker, vl ib.VL, bytes int) {
 		c = &creditAct{net: n}
 	}
 	c.taker, c.vl, c.bytes = taker, vl, bytes
-	n.simr.ScheduleAction(n.cfg.PropDelay, c)
+	d := n.cfg.PropDelay
+	if n.dropper != nil && n.dropper.DropCredit(vl, bytes) {
+		// The flow-control packet carrying this update is lost; the
+		// credits reach the transmitter with the next refresh instead
+		// (see CreditRefreshDelay).
+		n.creditDropped(taker, vl, bytes)
+		d += CreditRefreshDelay
+	}
+	n.simr.ScheduleAction(d, c)
 }
 
 // swTxAct fires a switch output port's serializer-done callback.

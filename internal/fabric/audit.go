@@ -1,6 +1,10 @@
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ib"
+)
 
 // This file is the fabric side of the runtime invariant layer
 // (internal/check): a custody census of every packet the fabric holds,
@@ -16,6 +20,36 @@ type AuditCounters struct {
 	// WirePackets counts packets currently in flight on links (arrival
 	// scheduled, not yet arrived).
 	WirePackets int
+
+	// DroppedPackets counts packets the fault layer discarded on the
+	// wire (see Dropper). Dropped custody is intentional, so the pool
+	// accounting law becomes Puts == ΣRxPackets + DroppedPackets; the
+	// per-class columns below break the total down for audit reports
+	// (a FECN-marked data packet counts under DroppedFECN only).
+	DroppedPackets int
+	DroppedData    int
+	DroppedFECN    int
+	DroppedCNP     int
+	DroppedAck     int
+	// DroppedCredits counts discarded flow-control credit updates.
+	// Each is deferred to the next refresh rather than lost (see
+	// CreditRefreshDelay), so quiescence still balances.
+	DroppedCredits int
+}
+
+// countDrop classifies a wire-dropped packet into the audit ledger.
+func (a *AuditCounters) countDrop(p *ib.Packet) {
+	a.DroppedPackets++
+	switch {
+	case p.Type == ib.CNPPacket:
+		a.DroppedCNP++
+	case p.Type == ib.AckPacket:
+		a.DroppedAck++
+	case p.FECN:
+		a.DroppedFECN++
+	default:
+		a.DroppedData++
+	}
 }
 
 // EnableAudit switches on the wire-custody counter and returns it. It
@@ -27,6 +61,9 @@ func (n *Network) EnableAudit() *AuditCounters {
 	}
 	return n.aud
 }
+
+// Audit returns the audit counters, or nil when auditing is off.
+func (n *Network) Audit() *AuditCounters { return n.aud }
 
 // HeldCensus breaks down the fabric's packet custody by holding site.
 type HeldCensus struct {

@@ -166,7 +166,7 @@ func (h *HCA) dmaDone(p *ib.Packet) {
 
 // tryTxOut moves staged packets onto the wire under credit flow control.
 func (h *HCA) tryTxOut() {
-	if h.out.busy {
+	if h.out.busy || h.out.down {
 		return
 	}
 	p := h.obuf.Peek()
@@ -217,6 +217,13 @@ func (h *HCA) armWake(t sim.Time) {
 	}
 	h.wake = h.net.simr.ScheduleActionAt(t, h.wakeAct)
 	h.wakeSeq = h.wake.Seq()
+}
+
+// dropArrive implements the fault layer's discard at the host receiver:
+// the rx buffer was never occupied, so the leaf switch gets its credit
+// straight back.
+func (h *HCA) dropArrive(p *ib.Packet) {
+	h.net.sendCredit(h.up, p.VL, p.WireBytes())
 }
 
 // arrive admits a packet into the receive buffer and starts the sink if

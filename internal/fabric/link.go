@@ -13,6 +13,12 @@ import (
 // under store-and-forward).
 type packetTaker interface {
 	arrive(p *ib.Packet)
+	// dropArrive is invoked instead of arrive when the fault layer
+	// discards the packet at the end of its wire flight: the receiver
+	// never takes custody but must still return the credit the
+	// transmitter spent, as if the packet had been consumed and freed
+	// instantly.
+	dropArrive(p *ib.Packet)
 }
 
 // creditTaker is the transmitting side of a link, which consumes credits
@@ -32,6 +38,19 @@ type linkOut struct {
 	dst     packetTaker
 	// hostFacing reports whether the downstream endpoint is an HCA.
 	hostFacing bool
+
+	// Transmitter identity in the flight-recorder namespace: atSwitch
+	// selects switch vs host for node (dense switch index vs LID); port
+	// is always 0 on hosts. Set once at wiring time, read only by the
+	// fault layer (see fault.go).
+	atSwitch   bool
+	node, port int
+
+	// Fault state, driven by SetLinkDown / SetLinkSlow. down gates the
+	// arbiter entry points (not canSend, so an outage never reads as a
+	// credit stall); slow > 1 multiplies serialization time.
+	down bool
+	slow float64
 }
 
 func (l *linkOut) initCredits(n, per int) {
@@ -57,10 +76,17 @@ func (l *linkOut) transmit(p *ib.Packet) sim.Duration {
 	}
 	l.busy = true
 	ser := l.net.cfg.LinkRate.TxTime(wire)
+	if l.slow > 1 {
+		ser = sim.Duration(float64(ser) * l.slow)
+	}
 	arrival := l.net.cfg.PropDelay + l.net.cfg.HopLatency
 	if !l.net.cfg.CutThrough {
 		arrival += ser
 	}
-	l.net.scheduleArrival(arrival, l.dst, p)
+	if d := l.net.dropper; d != nil && d.DropPacket(l.atSwitch, l.hostFacing, l.node, l.port, p) {
+		l.net.scheduleDrop(arrival, l, p)
+	} else {
+		l.net.scheduleArrival(arrival, l.dst, p)
+	}
 	return ser
 }

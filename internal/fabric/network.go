@@ -40,6 +40,10 @@ type Network struct {
 	// invariant checker reads; nil (the default) keeps the transmission
 	// hot path audit-free apart from the nil check (see audit.go).
 	aud *AuditCounters
+
+	// dropper, when non-nil, is the fault layer's wire-loss policy
+	// (see fault.go); nil loses nothing.
+	dropper Dropper
 }
 
 // New wires up the fabric. Hooks may be zero; sources are attached per
@@ -95,9 +99,11 @@ func New(s *sim.Simulator, t *topo.Topology, r *topo.Routing, cfg Config, hooks 
 func (n *Network) txSide(node *topo.Node, port int) (*linkOut, creditTaker) {
 	if node.Kind == topo.Host {
 		h := n.hcas[node.LID]
+		h.out.node = int(node.LID)
 		return &h.out, h
 	}
 	op := n.swByNode[node.ID].out[port]
+	op.linkOut.atSwitch, op.linkOut.node, op.linkOut.port = true, op.sw.index, port
 	return &op.linkOut, op
 }
 

@@ -86,6 +86,13 @@ func (ip *swInPort) arrive(p *ib.Packet) {
 	op.enqueue(ip.port, p)
 }
 
+// dropArrive implements the fault layer's discard at this receiver: the
+// buffer slot was never occupied, so the transmitter's credit goes
+// straight back upstream.
+func (ip *swInPort) dropArrive(p *ib.Packet) {
+	ip.sw.net.sendCredit(ip.up, p.VL, p.WireBytes())
+}
+
 func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
 	n := op.net
 	nv := n.cfg.NumVLs
@@ -115,7 +122,7 @@ func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
 // the congestion-control hook a chance to FECN-mark the departing
 // packet, and occupies the serializer.
 func (op *swOutPort) tryTx() {
-	if op.busy || op.pending == 0 {
+	if op.busy || op.down || op.pending == 0 {
 		return
 	}
 	n := op.net

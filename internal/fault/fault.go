@@ -1,0 +1,264 @@
+// Package fault is the deterministic fault-injection layer: a Plan
+// describes typed faults — link flaps, switch-port stalls, per-link rate
+// degradation, and per-class probabilistic wire loss — and an Injector
+// executes them against a fabric.Network on its simulator clock.
+//
+// Two properties anchor the design:
+//
+//   - Determinism. Every fault decision is a pure function of the plan.
+//     Scheduled faults carry absolute times; probabilistic drops draw
+//     from the plan's own RNG tree (rooted at Plan.Seed, one substream
+//     per drop class), fully independent of the traffic RNG tree — so
+//     the same (scenario seed, plan) pair replays the identical faulted
+//     run byte for byte, and changing the fault seed never perturbs an
+//     unfaulted decision.
+//
+//   - Zero-intensity transparency. A plan with no scheduled faults and
+//     all drop probabilities zero (Plan.Zero) is semantically absent:
+//     the runner skips the injector entirely, so the run takes the
+//     identical code path — and produces the identical event stream —
+//     as a run with no plan at all.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// LinkRef names one transmitter in the fabric: AtSwitch selects the
+// switch namespace (Node is the dense switch index, Port the output
+// port) versus the host namespace (Node is the LID; hosts have a single
+// transmitter, Port must be 0). The namespaces match the flight
+// recorder's, so a fault in a trace lines up with its LinkRef.
+type LinkRef struct {
+	AtSwitch bool `json:"at_switch,omitempty"`
+	Node     int  `json:"node"`
+	Port     int  `json:"port,omitempty"`
+}
+
+func (l LinkRef) String() string {
+	if l.AtSwitch {
+		return fmt.Sprintf("sw%d.p%d", l.Node, l.Port)
+	}
+	return fmt.Sprintf("host%d", l.Node)
+}
+
+// Flap takes a link down at At and back up Duration later.
+type Flap struct {
+	Link LinkRef      `json:"link"`
+	At   sim.Time     `json:"at_ps"`
+	Dur  sim.Duration `json:"duration_ps"`
+}
+
+// Stall freezes a switch output port — mechanically a flap, but named
+// separately in the taxonomy because it models a stuck arbiter rather
+// than a dead cable, and is restricted to switch transmitters.
+type Stall struct {
+	Link LinkRef      `json:"link"`
+	At   sim.Time     `json:"at_ps"`
+	Dur  sim.Duration `json:"duration_ps"`
+}
+
+// Degrade multiplies a link's serialization time by Factor (> 1) between
+// At and At+Dur; overlapping degrades on one link compound
+// multiplicatively.
+type Degrade struct {
+	Link   LinkRef      `json:"link"`
+	At     sim.Time     `json:"at_ps"`
+	Dur    sim.Duration `json:"duration_ps"`
+	Factor float64      `json:"factor"`
+}
+
+// DropProbs are per-class wire-loss probabilities in [0, 1], applied
+// independently per packet (or credit update). The classes separate the
+// congestion-control plane from the data plane: FECN covers FECN-marked
+// data packets (the forward congestion signal), CNP the backward
+// notification, Ack the acknowledgement stream, Credit the link-level
+// flow-control updates, and Data everything else.
+type DropProbs struct {
+	Data   float64 `json:"data,omitempty"`
+	FECN   float64 `json:"fecn,omitempty"`
+	CNP    float64 `json:"cnp,omitempty"`
+	Ack    float64 `json:"ack,omitempty"`
+	Credit float64 `json:"credit,omitempty"`
+}
+
+func (d DropProbs) zero() bool {
+	return d.Data == 0 && d.FECN == 0 && d.CNP == 0 && d.Ack == 0 && d.Credit == 0
+}
+
+// Plan is a complete, self-contained fault schedule. The zero value is a
+// valid empty plan. Times and durations are integer picoseconds (the
+// simulator's clock), so plans serialize exactly — no float rounding can
+// make two decodes of one plan diverge.
+type Plan struct {
+	// Seed roots the plan's private RNG tree. Independent of the
+	// traffic seed; the same plan under different traffic seeds drops
+	// the same coin-flip sequence per class.
+	Seed uint64 `json:"seed"`
+
+	// Horizon bounds the plan: every fault must end by it, and the
+	// rate sampler (if any) stops there. It is typically the scenario
+	// horizon.
+	Horizon sim.Time `json:"horizon_ps,omitempty"`
+
+	Flaps    []Flap    `json:"flaps,omitempty"`
+	Stalls   []Stall   `json:"stalls,omitempty"`
+	Degrades []Degrade `json:"degrades,omitempty"`
+	Drop     DropProbs `json:"drop,omitempty"`
+
+	// SampleEvery, when nonzero, runs a receive-rate sampler with this
+	// window so Stats can report a recovery time (see Stats).
+	SampleEvery sim.Duration `json:"sample_every_ps,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing: no scheduled faults and
+// all drop probabilities zero. A zero plan is treated as absent by the
+// runner (sampling alone does not make a plan non-zero — without faults
+// there is nothing to recover from).
+func (p *Plan) Zero() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.Flaps) == 0 && len(p.Stalls) == 0 && len(p.Degrades) == 0 && p.Drop.zero()
+}
+
+// LastFaultEnd returns the latest end time of any scheduled fault, or 0
+// when nothing is scheduled.
+func (p *Plan) LastFaultEnd() sim.Time {
+	var end sim.Time
+	for _, f := range p.Flaps {
+		if e := f.At.Add(f.Dur); e > end {
+			end = e
+		}
+	}
+	for _, s := range p.Stalls {
+		if e := s.At.Add(s.Dur); e > end {
+			end = e
+		}
+	}
+	for _, d := range p.Degrades {
+		if e := d.At.Add(d.Dur); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func checkProb(name string, v float64) error {
+	if v < 0 || v > 1 || v != v {
+		return fmt.Errorf("fault: %s drop probability %v outside [0, 1]", name, v)
+	}
+	return nil
+}
+
+func checkWindow(what string, l LinkRef, at sim.Time, dur sim.Duration, horizon sim.Time) error {
+	if at < 0 || dur <= 0 {
+		return fmt.Errorf("fault: %s on %s has empty window (at=%d dur=%d)", what, l, at, dur)
+	}
+	if horizon > 0 && at.Add(dur) > horizon {
+		return fmt.Errorf("fault: %s on %s ends at %v, past horizon %v", what, l, at.Add(dur), horizon)
+	}
+	return nil
+}
+
+// Validate checks ranges and, when links is non-nil, that every
+// referenced link exists in it (use FabricLinks for the fabric's link
+// set).
+func (p *Plan) Validate(links []LinkRef) error {
+	if p == nil {
+		return nil
+	}
+	var known map[LinkRef]bool
+	if links != nil {
+		known = make(map[LinkRef]bool, len(links))
+		for _, l := range links {
+			known[l] = true
+		}
+	}
+	checkLink := func(what string, l LinkRef) error {
+		if l.Node < 0 || l.Port < 0 {
+			return fmt.Errorf("fault: %s references negative link %+v", what, l)
+		}
+		if !l.AtSwitch && l.Port != 0 {
+			return fmt.Errorf("fault: %s references host %d port %d; hosts have one transmitter", what, l.Node, l.Port)
+		}
+		if known != nil && !known[l] {
+			return fmt.Errorf("fault: %s references unknown link %s", what, l)
+		}
+		return nil
+	}
+	for _, f := range p.Flaps {
+		if err := checkLink("flap", f.Link); err != nil {
+			return err
+		}
+		if err := checkWindow("flap", f.Link, f.At, f.Dur, p.Horizon); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.Stalls {
+		if !s.Link.AtSwitch {
+			return fmt.Errorf("fault: stall on %s; stalls apply to switch ports only", s.Link)
+		}
+		if err := checkLink("stall", s.Link); err != nil {
+			return err
+		}
+		if err := checkWindow("stall", s.Link, s.At, s.Dur, p.Horizon); err != nil {
+			return err
+		}
+	}
+	for _, d := range p.Degrades {
+		if err := checkLink("degrade", d.Link); err != nil {
+			return err
+		}
+		if err := checkWindow("degrade", d.Link, d.At, d.Dur, p.Horizon); err != nil {
+			return err
+		}
+		if d.Factor <= 1 || d.Factor != d.Factor {
+			return fmt.Errorf("fault: degrade factor %v on %s; must be > 1", d.Factor, d.Link)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"data", p.Drop.Data}, {"fecn", p.Drop.FECN}, {"cnp", p.Drop.CNP},
+		{"ack", p.Drop.Ack}, {"credit", p.Drop.Credit},
+	} {
+		if err := checkProb(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if p.SampleEvery < 0 {
+		return fmt.Errorf("fault: negative sample window %d", p.SampleEvery)
+	}
+	if p.SampleEvery > 0 && p.Horizon <= 0 {
+		return fmt.Errorf("fault: rate sampling requires a positive horizon")
+	}
+	return nil
+}
+
+// Decode reads a JSON plan, rejecting unknown fields so a typo in a
+// hand-written plan fails loudly instead of silently injecting nothing.
+func Decode(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	p := new(Plan)
+	if err := dec.Decode(p); err != nil {
+		return nil, fmt.Errorf("fault: decoding plan: %w", err)
+	}
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Encode writes the plan as indented JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

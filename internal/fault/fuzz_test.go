@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanDecode hardens the plan codec against arbitrary input: Decode
+// must never panic, and anything it accepts must validate, re-encode,
+// and decode back to the same plan.
+func FuzzPlanDecode(f *testing.F) {
+	// Seed corpus: the empty plan, each fault family, each failure
+	// mode the validator guards, and assorted malformed JSON.
+	seeds := []string{
+		`{}`,
+		`{"seed": 42}`,
+		`{"seed": 1, "horizon_ps": 1000000000, "drop": {"cnp": 0.5}}`,
+		`{"seed": 1, "horizon_ps": 1000000, "flaps": [{"link": {"at_switch": true, "node": 0, "port": 1}, "at_ps": 100, "duration_ps": 50}]}`,
+		`{"seed": 1, "horizon_ps": 1000000, "stalls": [{"link": {"at_switch": true, "node": 2, "port": 3}, "at_ps": 10, "duration_ps": 10}]}`,
+		`{"seed": 1, "horizon_ps": 1000000, "degrades": [{"link": {"node": 4}, "at_ps": 10, "duration_ps": 10, "factor": 2.5}]}`,
+		`{"seed": 1, "horizon_ps": 1000000, "sample_every_ps": 1000, "drop": {"data": 0.01, "fecn": 0.02, "cnp": 0.3, "ack": 0.05, "credit": 0.01}}`,
+		`{"drop": {"cnp": 1.5}}`,
+		`{"drop": {"data": -1}}`,
+		`{"flaps": [{"link": {"node": 0, "port": 7}, "at_ps": 1, "duration_ps": 1}]}`,
+		`{"degrades": [{"link": {"node": 0}, "at_ps": 1, "duration_ps": 1, "factor": 0.5}]}`,
+		`{"sample_every_ps": 100}`,
+		`{"unknown_field": true}`,
+		`{"seed": "not a number"}`,
+		`{`,
+		``,
+		`null`,
+		`[1,2,3]`,
+		`{"flaps": [{"at_ps": -5, "duration_ps": -1}]}`,
+		`{"seed": 18446744073709551615}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted plans are well-formed: they validate (Decode already
+		// did range checks), encode, and round-trip exactly.
+		if err := p.Validate(nil); err != nil {
+			t.Fatalf("decoded plan fails validation: %v\n%s", err, data)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		q, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := q.Encode(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("plan not stable under re-encode:\n%s\n%s", buf.String(), buf2.String())
+		}
+	})
+}

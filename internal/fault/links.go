@@ -1,0 +1,40 @@
+package fault
+
+import "repro/internal/topo"
+
+// FabricLinks enumerates every transmitter the fabric will instantiate
+// for tp, in a deterministic order: hosts by LID first, then switch
+// output ports in (dense switch index, port) order. The dense switch
+// index counts switches in node order, mirroring fabric.New, so the
+// refs returned here are exactly the ones the injector may fault.
+func FabricLinks(tp *topo.Topology) []LinkRef {
+	var hosts, sws []LinkRef
+	swIndex := 0
+	for i := range tp.Nodes {
+		node := &tp.Nodes[i]
+		switch node.Kind {
+		case topo.Host:
+			hosts = append(hosts, LinkRef{Node: int(node.LID)})
+		case topo.Switch:
+			for pi := range node.Ports {
+				if !node.Ports[pi].Connected() {
+					continue
+				}
+				sws = append(sws, LinkRef{AtSwitch: true, Node: swIndex, Port: pi})
+			}
+			swIndex++
+		}
+	}
+	return append(hosts, sws...)
+}
+
+// SwitchLinks filters refs down to switch transmitters (stall-eligible).
+func SwitchLinks(refs []LinkRef) []LinkRef {
+	var out []LinkRef
+	for _, l := range refs {
+		if l.AtSwitch {
+			out = append(out, l)
+		}
+	}
+	return out
+}

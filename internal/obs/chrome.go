@@ -52,7 +52,8 @@ func NewChromeTracer(w io.Writer) *ChromeTracer {
 // Attach subscribes the tracer to every kind it renders.
 func (t *ChromeTracer) Attach(b *Bus) {
 	b.Subscribe(t, KindPacketSent, KindPacketDelivered, KindFECNMarked,
-		KindBECNReturned, KindCCTIChanged, KindCreditStalled, KindQueueSampled)
+		KindBECNReturned, KindCCTIChanged, KindCreditStalled, KindQueueSampled,
+		KindLinkDown, KindLinkUp, KindPacketDropped)
 }
 
 // Events returns how many trace events were emitted (excluding
@@ -139,6 +140,22 @@ func (t *ChromeTracer) Consume(e Event) {
 		t.emit(fmt.Sprintf(
 			`{"name":"stall vl%d","ph":"i","s":"t","ts":%.4f,"pid":%d,"tid":%d,"args":{"credits":%d,"need":%d}}`,
 			e.VL, ts, pid, tid, e.CreditBytes, e.Bytes))
+	case KindLinkDown, KindLinkUp:
+		name := "link down"
+		if e.Kind == KindLinkUp {
+			name = "link up"
+		}
+		t.emit(fmt.Sprintf(
+			`{"name":"%s","ph":"i","s":"p","ts":%.4f,"pid":%d,"tid":%d}`,
+			name, ts, pid, tid))
+	case KindPacketDropped:
+		what := fmt.Sprintf("drop %s %d->%d", e.Type, e.Src, e.Dst)
+		if e.PktID == 0 {
+			what = fmt.Sprintf("drop credit vl%d", e.VL)
+		}
+		t.emit(fmt.Sprintf(
+			`{"name":"%s","ph":"i","s":"t","ts":%.4f,"pid":%d,"tid":%d,"args":{"bytes":%d}}`,
+			what, ts, pid, tid, e.Bytes))
 	default:
 		return
 	}

@@ -17,6 +17,10 @@ func emitAllKinds(b *Bus) {
 	b.CCTIChanged(6000, 1, 2, 0, 4)
 	b.CreditStalled(7000, true, 3, 4, 0, 10, 2094)
 	b.PacketSent(8000, false, 1, 0, p)
+	b.LinkDown(9000, true, 3, 4)
+	b.LinkUp(10000, true, 3, 4)
+	b.PacketDropped(11000, true, 3, 4, p, 0, p.WireBytes())
+	b.PacketDropped(12000, true, 3, 4, nil, 1, 2094) // lost credit update
 }
 
 // TestChromeTraceValid checks the exporter structurally: the output is
@@ -145,10 +149,10 @@ func TestJSONLWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != 8 {
-		t.Fatalf("lines = %d, want 8:\n%s", len(lines), sb.String())
+	if len(lines) != 12 {
+		t.Fatalf("lines = %d, want 12:\n%s", len(lines), sb.String())
 	}
-	if w.Events() != 8 {
+	if w.Events() != 12 {
 		t.Fatalf("Events() = %d", w.Events())
 	}
 	kinds := map[string]bool{}

@@ -26,6 +26,9 @@ type PortCounters struct {
 	PeakQueuedBytes int
 	// FwdPackets counts packets put on the wire.
 	FwdPackets uint64
+	// Dropped counts packets and credit updates the fault layer
+	// discarded after leaving this port.
+	Dropped uint64
 	// FwdBytesVL counts wire bytes forwarded per VL.
 	FwdBytesVL []uint64
 	// HostPort reports whether the port faces an HCA (learned from the
@@ -51,7 +54,7 @@ func NewRegistry(numVLs int) *Registry {
 
 // Attach subscribes the registry to the kinds it consumes.
 func (r *Registry) Attach(b *Bus) {
-	b.Subscribe(r, KindPacketSent, KindFECNMarked, KindCreditStalled, KindQueueSampled)
+	b.Subscribe(r, KindPacketSent, KindFECNMarked, KindCreditStalled, KindQueueSampled, KindPacketDropped)
 }
 
 func (r *Registry) port(sw, port int, hostPort bool) *PortCounters {
@@ -88,6 +91,8 @@ func (r *Registry) Consume(e Event) {
 		if e.QueuedBytes > c.PeakQueuedBytes {
 			c.PeakQueuedBytes = e.QueuedBytes
 		}
+	case KindPacketDropped:
+		r.port(e.Node, e.Port, false).Dropped++
 	}
 }
 

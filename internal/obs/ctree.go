@@ -83,6 +83,28 @@ type TreeReport struct {
 	ContributorSrcs, VictimSrcs int
 	// Flows is the per-flow classification.
 	Flows map[ib.FlowKey]FlowClass
+	// Faults summarizes fault-layer activity seen on the bus, separating
+	// throughput loss the fault plan caused from congestion damage; all
+	// zero when no fault plan was active.
+	Faults FaultSummary
+}
+
+// FaultSummary is the fault-attribution section of a TreeReport.
+type FaultSummary struct {
+	// DroppedPackets counts packets the fault layer discarded;
+	// DroppedCredits counts discarded credit updates.
+	DroppedPackets, DroppedCredits uint64
+	// DroppedToTrees is the subset of DroppedPackets destined for a
+	// reconstructed tree destination — loss inside the congestion trees
+	// rather than on victim paths.
+	DroppedToTrees uint64
+	// LinkDowns and LinkUps count transmitter outage transitions.
+	LinkDowns, LinkUps int
+}
+
+// Any reports whether any fault activity was observed.
+func (f FaultSummary) Any() bool {
+	return f.DroppedPackets > 0 || f.DroppedCredits > 0 || f.LinkDowns > 0 || f.LinkUps > 0
 }
 
 // HotspotSet returns the tree destinations as a membership map.
@@ -134,6 +156,13 @@ func (r *TreeReport) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	if r.Faults.Any() {
+		if err := pf("  faults: %d packets dropped (%d into trees), %d credit updates dropped, %d link downs / %d ups\n",
+			r.Faults.DroppedPackets, r.Faults.DroppedToTrees, r.Faults.DroppedCredits,
+			r.Faults.LinkDowns, r.Faults.LinkUps); err != nil {
+			return n, err
+		}
+	}
 	return n, nil
 }
 
@@ -160,20 +189,25 @@ type flowAgg struct {
 type TreeAnalyzer struct {
 	ports map[PortKey]*portAgg
 	flows map[ib.FlowKey]*flowAgg
+	// Fault evidence: aggregate counters plus dropped data packets per
+	// destination, resolved against the tree set at Report time.
+	faults     FaultSummary
+	droppedDst map[ib.LID]uint64
 }
 
 // NewTreeAnalyzer returns an empty analyzer.
 func NewTreeAnalyzer() *TreeAnalyzer {
 	return &TreeAnalyzer{
-		ports: make(map[PortKey]*portAgg),
-		flows: make(map[ib.FlowKey]*flowAgg),
+		ports:      make(map[PortKey]*portAgg),
+		flows:      make(map[ib.FlowKey]*flowAgg),
+		droppedDst: make(map[ib.LID]uint64),
 	}
 }
 
 // Attach subscribes the analyzer to the kinds it consumes.
 func (a *TreeAnalyzer) Attach(b *Bus) {
 	b.Subscribe(a, KindPacketSent, KindFECNMarked, KindBECNReturned,
-		KindCCTIChanged, KindQueueSampled)
+		KindCCTIChanged, KindQueueSampled, KindPacketDropped, KindLinkDown, KindLinkUp)
 }
 
 func (a *TreeAnalyzer) flow(f ib.FlowKey) *flowAgg {
@@ -221,6 +255,19 @@ func (a *TreeAnalyzer) Consume(e Event) {
 		if p := a.ports[PortKey{Switch: e.Node, Port: e.Port}]; p != nil && e.QueuedBytes > p.peak {
 			p.peak = e.QueuedBytes
 		}
+	case KindPacketDropped:
+		if e.PktID == 0 {
+			a.faults.DroppedCredits++
+			return
+		}
+		a.faults.DroppedPackets++
+		if e.Type == ib.DataPacket {
+			a.droppedDst[e.Dst]++
+		}
+	case KindLinkDown:
+		a.faults.LinkDowns++
+	case KindLinkUp:
+		a.faults.LinkUps++
 	}
 }
 
@@ -341,6 +388,12 @@ func (a *TreeAnalyzer) Report() *TreeReport {
 	}
 	rep.ContributorSrcs = len(contribSrc)
 	rep.VictimSrcs = len(victimSrc)
+	rep.Faults = a.faults
+	for dst, n := range a.droppedDst {
+		if hot[dst] {
+			rep.Faults.DroppedToTrees += n
+		}
+	}
 	return rep
 }
 

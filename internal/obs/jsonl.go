@@ -83,6 +83,12 @@ func (j *JSONLWriter) Consume(e Event) {
 	switch e.Kind {
 	case KindPacketSent, KindPacketDelivered, KindFECNMarked, KindBECNReturned:
 		rec.PktType = e.Type.String()
+	case KindPacketDropped:
+		if e.PktID > 0 {
+			rec.PktType = e.Type.String()
+		} else {
+			rec.PktType = "credit"
+		}
 	}
 	j.err = j.enc.Encode(&rec)
 	if j.err == nil {

@@ -44,8 +44,19 @@ const (
 	// KindQueueSampled fires when a switch output Port VL's queued-byte
 	// count changes (a packet joins or leaves), carrying the new depth.
 	KindQueueSampled
+	// KindLinkDown fires when the fault layer takes a transmitter down
+	// (a link flap or a switch-port stall beginning).
+	KindLinkDown
+	// KindLinkUp fires when a downed transmitter comes back.
+	KindLinkUp
+	// KindPacketDropped fires when the fault layer discards a packet at
+	// the end of its wire flight (PktID > 0, full packet identity) or a
+	// flow-control credit update (PktID 0, CreditBytes = lost credit).
+	KindPacketDropped
 
-	// NumKinds is the number of event kinds.
+	// NumKinds is the number of event kinds. The fault kinds above sit
+	// after the original seven so that unfaulted event streams keep
+	// their recorded digests.
 	NumKinds
 )
 
@@ -65,6 +76,12 @@ func (k Kind) String() string {
 		return "credit_stalled"
 	case KindQueueSampled:
 		return "queue_sampled"
+	case KindLinkDown:
+		return "link_down"
+	case KindLinkUp:
+		return "link_up"
+	case KindPacketDropped:
+		return "packet_dropped"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -249,6 +266,40 @@ func (b *Bus) CreditStalled(t sim.Time, sw bool, node, port int, vl ib.VL, credi
 		Kind: KindCreditStalled, Time: t, Switch: sw, Node: node, Port: port,
 		VL: vl, CreditBytes: credits, Bytes: need,
 	})
+}
+
+// LinkDown publishes a transmitter going down at (node, port); sw
+// selects the switch/host namespace for node.
+func (b *Bus) LinkDown(t sim.Time, sw bool, node, port int) {
+	if b == nil || b.mask&(1<<KindLinkDown) == 0 {
+		return
+	}
+	b.Publish(Event{Kind: KindLinkDown, Time: t, Switch: sw, Node: node, Port: port})
+}
+
+// LinkUp publishes a transmitter coming back up at (node, port).
+func (b *Bus) LinkUp(t sim.Time, sw bool, node, port int) {
+	if b == nil || b.mask&(1<<KindLinkUp) == 0 {
+		return
+	}
+	b.Publish(Event{Kind: KindLinkUp, Time: t, Switch: sw, Node: node, Port: port})
+}
+
+// PacketDropped publishes a fault-layer discard at transmitter
+// (node, port). A nil p records a dropped credit update instead: vl and
+// bytes describe the lost flow-control update and CreditBytes doubles as
+// the credit marker.
+func (b *Bus) PacketDropped(t sim.Time, sw bool, node, port int, p *ib.Packet, vl ib.VL, bytes int) {
+	if b == nil || b.mask&(1<<KindPacketDropped) == 0 {
+		return
+	}
+	e := Event{Kind: KindPacketDropped, Time: t, Switch: sw, Node: node, Port: port}
+	if p != nil {
+		e.packet(p)
+	} else {
+		e.VL, e.Bytes, e.CreditBytes = vl, bytes, bytes
+	}
+	b.Publish(e)
 }
 
 // QueueSampled publishes a switch output Port VL depth change.
