@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race invariants degradation bench bench-obs bench-kernel paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament bench bench-obs bench-kernel paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -52,6 +52,17 @@ degradation:
 	$(GO) test -count=1 ./internal/core -run 'Fault|ZeroIntensity|CCSurvives|Degradation'
 	$(GO) run ./cmd/paperbench -radix 8 -degradation /tmp/ibcc-degradation.json \
 		-intensities 0,0.6 -seeds 2 -check
+
+# Backend tournament smoke: the tournament unit suite, then a reduced
+# bracket (radix 8, 2 seeds, 2 backends, one fault intensity) through
+# the paperbench CLI under the invariant checker, rendered back from
+# the JSON artifact with cctinspect.
+tournament:
+	$(GO) test -count=1 ./internal/tournament
+	$(GO) test -count=1 ./internal/cc -run 'Backend|RCM|Registry|NoCC|Oracle'
+	$(GO) run ./cmd/paperbench -radix 8 -tournament /tmp/ibcc-tournament.json \
+		-cc ibcc,nocc -intensities 0.6 -seeds 2 -check
+	$(GO) run ./cmd/cctinspect -tournament /tmp/ibcc-tournament.json
 
 bench:
 	$(GO) test -bench=. -benchmem

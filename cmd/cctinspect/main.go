@@ -8,12 +8,18 @@
 // event bus: per interval the throttle increments and decrements, the
 // number of flows holding congestion state, and the max and mean CCTI.
 //
+// With -tournament it instead renders a backend-tournament JSON
+// artifact (written by paperbench -tournament) as the ranked comparison
+// table.
+//
 //	cctinspect -threshold 3
 //	cctinspect -run -radix 12 -fracb 100 -p 60 -interval 500us
 //	cctinspect -run -check    # the same, audited by the invariant checker
+//	cctinspect -tournament tour.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +32,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ib"
 	"repro/internal/sim"
+	"repro/internal/tournament"
 )
 
 func main() {
@@ -43,8 +50,16 @@ func main() {
 		measure  = flag.Duration("measure", 3*time.Millisecond, "-run measurement window (after a 2ms warmup)")
 		interval = flag.Duration("interval", 500*time.Microsecond, "-run table bucket size")
 		checkInv = flag.Bool("check", false, "run the -run scenario under the runtime invariant checker; exit non-zero on violations")
+		tourn    = flag.String("tournament", "", "render a backend-tournament JSON artifact (from paperbench -tournament) and exit")
 	)
 	flag.Parse()
+
+	if *tourn != "" {
+		if err := renderTournament(*tourn); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	p := cc.PaperParams()
 	p.CCTILimit = uint16(*limit)
@@ -102,6 +117,24 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// renderTournament reads a tournament JSON artifact and prints its
+// ranked comparison table.
+func renderTournament(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tab tournament.Table
+	if err := json.Unmarshal(raw, &tab); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tab.Cells) == 0 {
+		return fmt.Errorf("%s: no tournament cells", path)
+	}
+	tournament.Print(os.Stdout, &tab)
+	return nil
 }
 
 // runTable simulates the scenario under params and prints the

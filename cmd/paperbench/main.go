@@ -13,6 +13,9 @@
 //	paperbench -diff-kernel         # timing wheel vs reference heap, byte-identical check
 //	paperbench -check -exp table2   # run experiments under the invariant checker
 //	paperbench -degradation deg.json -seeds 3   # fault-intensity sweep, JSON artifact
+//	paperbench -degradation deg.json -cc rcm    # the same, DCQCN-style backend in the CC-on leg
+//	paperbench -tournament tour.json -seeds 2   # backend tournament, ranked table + JSON artifact
+//	paperbench -tournament tour.json -cc ibcc,nocc  # restrict the bracket
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -72,9 +75,16 @@ func main() {
 		chrome   = flag.String("chrome-trace", "", "flight-record the base scenario: Chrome trace to this file, then exit")
 		ctree    = flag.Bool("ctree", false, "flight-record the base scenario: print its congestion trees, then exit")
 		degrade  = flag.String("degradation", "", "graceful-degradation sweep (fault intensity x CC on/off): write the JSON artifact here, then exit")
-		intens   = flag.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities for -degradation")
+		tourn    = flag.String("tournament", "", "congestion-control backend tournament (backends x corpus x fault intensity): write the JSON artifact here, then exit")
+		intens   = flag.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities for -degradation / -tournament")
+		ccName   = flag.String("cc", "", "congestion control backend selection: one registry name for the simulated backend (-degradation's CC-on leg and every experiment), or a comma-separated list for -tournament's bracket (empty = default backend / all registered)")
 	)
 	flag.Parse()
+
+	ccNames, err := parseCCNames(*ccName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopCPU := startCPUProfile(*cpuProf)
 	defer stopCPU()
@@ -89,6 +99,11 @@ func main() {
 
 	base := ibcc.DefaultScenario(*radix)
 	base.Seed = *seed
+	if len(ccNames) == 1 {
+		base.Backend = ccNames[0]
+	} else if len(ccNames) > 1 && *tourn == "" {
+		log.Fatalf("-cc with multiple names (%v) only makes sense with -tournament", ccNames)
+	}
 	ltScale := float64(*radix) * float64(*radix) / (36 * 36)
 	if *full {
 		base.Warmup = 20 * ibcc.Millisecond
@@ -117,6 +132,13 @@ func main() {
 
 	if *degrade != "" {
 		if err := runDegradation(base, *degrade, *intens, *seeds, workers, *checkInv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *tourn != "" {
+		if err := runTournament(base, *tourn, *intens, *seeds, workers, *checkInv, ccNames); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -288,21 +310,11 @@ func main() {
 // baseline (a zero plan is treated as absent), so the curve starts at
 // the healthy operating point.
 func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool) error {
-	var ins []float64
-	for _, f := range strings.Split(intensities, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return fmt.Errorf("-intensities: %w", err)
-		}
-		ins = append(ins, v)
+	ins, err := parseIntensities(intensities)
+	if err != nil {
+		return err
 	}
-	if seeds < 1 {
-		seeds = 1
-	}
-	seedList := make([]uint64, seeds)
-	for i := range seedList {
-		seedList[i] = base.Seed + uint64(i)
-	}
+	seedList := seedsFrom(base.Seed, seeds)
 
 	start := time.Now()
 	pts, err := ibcc.RunDegradationOpts(base, ins, seedList, ibcc.RunOpts{Workers: workers, Check: checked})
@@ -329,6 +341,89 @@ func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers
 	fmt.Printf("degradation: %d intensities x %d seeds x 2 CC legs in %v -> %s\n",
 		len(ins), seeds, time.Since(start).Round(time.Millisecond), path)
 	return nil
+}
+
+// runTournament is the backend-tournament mode: every selected backend
+// runs the scenario corpus across the fault-intensity grid, each cell
+// is scored and ranked, and the table is printed and written as a JSON
+// artifact (render it again later with cctinspect -tournament).
+func runTournament(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, backends []string) error {
+	ins, err := parseIntensities(intensities)
+	if err != nil {
+		return err
+	}
+	seedList := seedsFrom(base.Seed, seeds)
+	start := time.Now()
+	tab, err := ibcc.RunTournament(ibcc.TournamentConfig{
+		Base:        base,
+		Backends:    backends,
+		Intensities: ins,
+		Seeds:       seedList,
+		Opts:        ibcc.RunOpts{Workers: workers, Check: checked},
+	})
+	if err != nil {
+		return err
+	}
+	ibcc.PrintTournament(os.Stdout, tab)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tab); err != nil {
+		return err
+	}
+	fmt.Printf("tournament: %d backends x %d shapes x %d intensities x %d seeds in %v -> %s\n",
+		len(tab.Backends), len(tab.Corpus), len(ins), len(seedList),
+		time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
+// parseCCNames validates the -cc flag: a comma-separated list of
+// registered backend names. Unknown names are fatal and list the
+// registry, so a typo cannot silently run the default mechanism.
+func parseCCNames(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if !ibcc.CCBackendKnown(n) {
+			return nil, fmt.Errorf("-cc: unknown backend %q (registered: %s)",
+				n, strings.Join(ibcc.CCBackends(), ", "))
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// parseIntensities parses the shared -intensities grid.
+func parseIntensities(s string) ([]float64, error) {
+	var ins []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-intensities: %w", err)
+		}
+		ins = append(ins, v)
+	}
+	return ins, nil
+}
+
+// seedsFrom returns n seeds counting up from base.
+func seedsFrom(base uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
 }
 
 // runDiffKernel is the differential kernel validation mode: every

@@ -1,0 +1,382 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RCMParams tune the DCQCN-style RoCEv2 congestion management backend.
+type RCMParams struct {
+	// KminBytes / KmaxBytes bound the ECN marking ramp on the output
+	// Port VL's queued bytes: below Kmin nothing is marked, above Kmax
+	// every data packet is, and in between the marking fraction rises
+	// linearly to PMax.
+	KminBytes, KmaxBytes int
+	// PMax is the marking fraction at KmaxBytes (RED-style ceiling of
+	// the linear ramp).
+	PMax float64
+	// G is the EWMA gain of the congestion estimate alpha
+	// (DCQCN's g): alpha ← (1−G)·alpha + G on each CNP, decaying by
+	// (1−G) per timer period otherwise.
+	G float64
+	// Timer is the rate/alpha update period in units of TimerUnit
+	// (1.024 µs); the DCQCN reference uses ~55 µs.
+	Timer uint16
+	// FastRecovery is the number of timer periods after a rate decrease
+	// during which the current rate only halves its gap to the target
+	// rate; afterwards the target itself rises additively.
+	FastRecovery int
+	// AIRate is the additive increase applied to the target rate per
+	// timer period once fast recovery ends.
+	AIRate sim.Rate
+	// MinRate floors the current rate so a flow can always probe.
+	MinRate sim.Rate
+}
+
+// DefaultRCMParams returns the backend's calibration for this model's
+// 13.5 Gbit/s hosts and 16 KiB switch buffers: the marking ramp sits in
+// the same occupancy band the IB CCA threshold (weight 15 ≈ 4 KiB)
+// watches, and the 55 µs timer matches the DCQCN reference.
+func DefaultRCMParams() RCMParams {
+	return RCMParams{
+		KminBytes:    4 << 10,
+		KmaxBytes:    32 << 10,
+		PMax:         0.1,
+		G:            1.0 / 16,
+		Timer:        54, // 54 × 1.024 µs ≈ 55.3 µs
+		FastRecovery: 5,
+		AIRate:       sim.Gbps(0.4),
+		MinRate:      sim.Gbps(0.2),
+	}
+}
+
+// Validate reports parameter errors.
+func (p *RCMParams) Validate() error {
+	switch {
+	case p.KminBytes < 0 || p.KmaxBytes <= p.KminBytes:
+		return fmt.Errorf("cc: rcm marking ramp [%d, %d) invalid", p.KminBytes, p.KmaxBytes)
+	case p.PMax <= 0 || p.PMax > 1:
+		return fmt.Errorf("cc: rcm PMax %v outside (0, 1]", p.PMax)
+	case p.G <= 0 || p.G >= 1:
+		return fmt.Errorf("cc: rcm gain %v outside (0, 1)", p.G)
+	case p.Timer == 0:
+		return fmt.Errorf("cc: rcm timer must be positive")
+	case p.FastRecovery < 0:
+		return fmt.Errorf("cc: rcm negative fast-recovery period count")
+	case p.AIRate <= 0 || p.MinRate <= 0:
+		return fmt.Errorf("cc: rcm rates must be positive")
+	}
+	return nil
+}
+
+// rcmFlow is the per-flow rate state at a source CA: the current rate
+// RC paces injection, the target rate RT remembers the pre-decrease
+// rate recovery climbs back toward, and alpha estimates congestion.
+// The invariant MinRate ≤ RC ≤ RT ≤ line holds throughout.
+type rcmFlow struct {
+	rc, rt sim.Rate
+	alpha  float64
+	// ticks counts timer periods since the last rate decrease; it
+	// selects fast recovery vs additive increase.
+	ticks int
+}
+
+// rcmCA is the per-host CA state: the rate-limited flow table and the
+// free-running update timer (fixed grid with a per-CA phase, like the
+// ibcc CCTI timer, so sources desynchronize deterministically).
+type rcmCA struct {
+	flows map[ib.LID]*rcmFlow
+	timer *sim.Event
+	tick  sim.Action
+	phase sim.Duration
+}
+
+// RCM is the DCQCN-style RoCEv2 congestion management backend: switches
+// ECN-mark a deterministic fraction of departing data packets that
+// rises with output-queue occupancy (no root/victim test — RCM marks on
+// queue depth alone); destination CAs bounce each mark as a CNP;
+// source CAs react with a multiplicative rate decrease
+// RC ← RC·(1−alpha/2) and recover through hyperbolic fast recovery
+// followed by additive increase, paced by a per-CA timer. The
+// PFC-pause role of lossless RoCE is played by the fabric's existing
+// credit-stall path: a full downstream buffer withholds credits, which
+// is exactly a pause frame's effect, so no extra machinery is needed.
+//
+// Marking uses a per-Port-VL fractional accumulator instead of a coin
+// flip: the marking fraction accrues per eligible packet and a packet
+// is marked each time the accumulator crosses 1. The long-run marking
+// rate equals the probabilistic version's, deterministically.
+//
+// RCM publishes FECNMarked and BECNReturned flight-recorder events (so
+// the congestion-tree analyzer reconstructs its trees) but never
+// CCTIChanged: there is no CCT, and the checker's ccti-step rule
+// validates transitions against ibcc parameters only.
+type RCM struct {
+	net  *fabric.Network
+	simr *sim.Simulator
+	p    RCMParams
+	line sim.Rate
+
+	// acc[switchIndex][port*numVLs+vl] is the marking accumulator.
+	acc [][]float64
+
+	ca []rcmCA
+
+	stats Stats
+	bus   *obs.Bus
+}
+
+// NewRCM builds the backend bound to net, pacing against the given
+// injection line rate.
+func NewRCM(net *fabric.Network, p RCMParams, line sim.Rate) (*RCM, error) {
+	if p == (RCMParams{}) {
+		p = DefaultRCMParams()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if line <= 0 {
+		return nil, fmt.Errorf("cc: rcm needs a positive line rate")
+	}
+	if p.MinRate >= line {
+		return nil, fmt.Errorf("cc: rcm MinRate %v at or above line rate %v", p.MinRate, line)
+	}
+	r := &RCM{net: net, simr: net.Sim(), p: p, line: line}
+	nv := net.Config().NumVLs
+	tp := net.Topology()
+	r.acc = make([][]float64, len(net.Switches()))
+	for _, sw := range net.Switches() {
+		r.acc[sw.Index()] = make([]float64, len(tp.Nodes[sw.NodeID()].Ports)*nv)
+	}
+	r.ca = make([]rcmCA, net.NumHosts())
+	period := sim.Duration(p.Timer) * TimerUnit
+	for i := range r.ca {
+		r.ca[i].flows = make(map[ib.LID]*rcmFlow)
+		r.ca[i].phase = sim.Duration(sim.NewRNG(uint64(i)+1).Uint64() % uint64(period))
+	}
+	return r, nil
+}
+
+// Name implements Backend.
+func (r *RCM) Name() string { return "rcm" }
+
+// Params returns the active parameter set.
+func (r *RCM) Params() RCMParams { return r.p }
+
+// SetBus implements Backend.
+func (r *RCM) SetBus(b *obs.Bus) { r.bus = b }
+
+// Stats implements Backend. FECNMarked counts ECN marks, CNPSent /
+// BECNReceived the notification loop, and TimerDecrements the per-flow
+// recovery updates applied; MaxCCTI stays 0 (there is no CCT).
+func (r *RCM) Stats() Stats { return r.stats }
+
+// Hooks implements Backend: arrival-sampled ECN marking plus the
+// destination/source CNP loop.
+func (r *RCM) Hooks() fabric.Hooks {
+	return fabric.Hooks{SwitchEnqueue: r.onEnqueue, Deliver: r.onDeliver}
+}
+
+// Throttle implements Backend.
+func (r *RCM) Throttle() Throttle { return r }
+
+// onEnqueue marks a deterministic, occupancy-proportional fraction of
+// data packets joining a switch output queue.
+func (r *RCM) onEnqueue(sw, out int, p *ib.Packet, st fabric.PortVLState) {
+	if p.Type != ib.DataPacket {
+		return // ECN marks ride data packets only
+	}
+	q := st.QueuedBytes
+	if q < r.p.KminBytes {
+		return
+	}
+	frac := 1.0
+	if q < r.p.KmaxBytes {
+		frac = r.p.PMax * float64(q-r.p.KminBytes) / float64(r.p.KmaxBytes-r.p.KminBytes)
+	}
+	nv := r.net.Config().NumVLs
+	acc := &r.acc[sw][out*nv+int(p.VL)]
+	*acc += frac
+	if *acc < 1 {
+		return
+	}
+	*acc--
+	p.FECN = true
+	r.stats.FECNMarked++
+	r.bus.FECNMarked(r.simr.Now(), sw, out, st.HostPort, p, st.QueuedBytes, st.CreditBytes)
+}
+
+// onDeliver implements both CA roles: a destination CA bounces each
+// delivered ECN-marked data packet as an immediate CNP; a source CA
+// consumes the CNP (its BECN bit) with a rate decrease.
+func (r *RCM) onDeliver(lid ib.LID, p *ib.Packet) {
+	if p.Type == ib.DataPacket && p.FECN {
+		cnp := r.net.PacketPool().Get()
+		cnp.Type = ib.CNPPacket
+		cnp.Src = lid
+		cnp.Dst = p.Src
+		cnp.SL = p.SL
+		cnp.VL = p.VL
+		cnp.BECN = true
+		r.net.HCA(lid).SendControl(cnp)
+		r.stats.CNPSent++
+	}
+	if p.BECN {
+		// The CNP's source is the congested destination; the flow being
+		// slowed is lid -> p.Src.
+		r.bus.BECNReturned(r.simr.Now(), lid, p.Src, p)
+		r.onCNP(lid, p.Src)
+	}
+}
+
+// onCNP applies DCQCN's congestion reaction to flow src→dst: bump the
+// congestion estimate, remember the current rate as the recovery
+// target, and cut the current rate by alpha/2.
+func (r *RCM) onCNP(src, dst ib.LID) {
+	r.stats.BECNReceived++
+	ca := &r.ca[src]
+	fl := ca.flows[dst]
+	if fl == nil {
+		// DCQCN initializes alpha to 1, so a fresh flow's first CNP cuts
+		// it straight to line/2.
+		fl = &rcmFlow{rc: r.line, rt: r.line, alpha: 1}
+		ca.flows[dst] = fl
+	}
+	fl.alpha = (1-r.p.G)*fl.alpha + r.p.G
+	fl.rt = fl.rc
+	fl.rc = fl.rc * sim.Rate(1-fl.alpha/2)
+	if fl.rc < r.p.MinRate {
+		fl.rc = r.p.MinRate
+	}
+	fl.ticks = 0
+	r.armTimer(src)
+}
+
+// armTimer starts the CA's free-running update timer if it is not
+// already running; ticks always land on the CA's fixed grid.
+func (r *RCM) armTimer(src ib.LID) {
+	ca := &r.ca[src]
+	if ca.timer != nil {
+		return
+	}
+	if ca.tick == nil {
+		ca.tick = &rcmTickAct{r: r, src: src}
+	}
+	period := sim.Duration(r.p.Timer) * TimerUnit
+	ca.timer = r.simr.ScheduleActionAt(nextGridTick(r.simr.Now(), ca.phase, period), ca.tick)
+}
+
+// rcmTickAct is a CA's pre-bound timer callback.
+type rcmTickAct struct {
+	r   *RCM
+	src ib.LID
+}
+
+// Act implements sim.Action.
+func (a *rcmTickAct) Act() { a.r.timerTick(a.src) }
+
+// timerTick is one firing of a CA's update timer: every rate-limited
+// flow decays its congestion estimate and climbs toward its target
+// (fast recovery halves the gap; afterwards the target also rises
+// additively). Fully recovered flows leave the table. Each flow's
+// update touches only that flow, so the map iteration order cannot
+// influence the trajectory.
+func (r *RCM) timerTick(src ib.LID) {
+	ca := &r.ca[src]
+	ca.timer = nil
+	for dst, fl := range ca.flows {
+		fl.alpha *= 1 - r.p.G
+		fl.ticks++
+		if fl.ticks > r.p.FastRecovery {
+			fl.rt += r.p.AIRate
+			if fl.rt > r.line {
+				fl.rt = r.line
+			}
+		}
+		fl.rc = (fl.rc + fl.rt) / 2
+		r.stats.TimerDecrements++
+		if r.line-fl.rc < r.p.AIRate/1024 && r.line-fl.rt < r.p.AIRate/1024 {
+			delete(ca.flows, dst)
+		}
+	}
+	if len(ca.flows) > 0 {
+		period := sim.Duration(r.p.Timer) * TimerUnit
+		ca.timer = r.simr.ScheduleAction(period, ca.tick)
+	}
+}
+
+// Rate returns the current injection rate of flow src→dst (the line
+// rate when the flow holds no congestion state).
+func (r *RCM) Rate(src, dst ib.LID) sim.Rate {
+	if fl := r.ca[src].flows[dst]; fl != nil {
+		return fl.rc
+	}
+	return r.line
+}
+
+// IRD implements Throttle: a rate-limited flow's packets are spaced at
+// wire/RC — the delay returned here stretches the generator's base
+// line-rate spacing by the difference.
+func (r *RCM) IRD(src, dst ib.LID, wireBytes int) sim.Duration {
+	fl := r.ca[src].flows[dst]
+	if fl == nil {
+		return 0
+	}
+	d := fl.rc.TxTime(wireBytes) - r.line.TxTime(wireBytes)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// CheckInvariants implements Backend: every tabled flow's rates within
+// MinRate ≤ RC ≤ RT ≤ line, its congestion estimate within [0, 1], and
+// a live timer on every CA that still holds rate-limited flows.
+func (r *RCM) CheckInvariants() error {
+	const slack = 1e-6
+	for i := range r.ca {
+		ca := &r.ca[i]
+		for dst, fl := range ca.flows {
+			if fl.rc < r.p.MinRate*(1-slack) || fl.rc > fl.rt*(1+slack) || fl.rt > r.line*(1+slack) {
+				return fmt.Errorf("cc: rcm ca %d flow->%d rates rc=%v rt=%v outside [%v, %v]",
+					i, dst, fl.rc, fl.rt, r.p.MinRate, r.line)
+			}
+			if fl.alpha < 0 || fl.alpha > 1 {
+				return fmt.Errorf("cc: rcm ca %d flow->%d alpha %v outside [0, 1]", i, dst, fl.alpha)
+			}
+		}
+		if len(ca.flows) > 0 && ca.timer == nil {
+			return fmt.Errorf("cc: rcm ca %d holds %d rate-limited flows with no update timer armed",
+				i, len(ca.flows))
+		}
+	}
+	return nil
+}
+
+// ThrottleSummary implements Backend: tabled flows and their mean
+// pacing depth in line-rate multiples (line/RC; 0 when none).
+func (r *RCM) ThrottleSummary() (flows int, mean float64) {
+	var sum float64
+	for i := range r.ca {
+		for _, fl := range r.ca[i].flows {
+			flows++
+			sum += float64(r.line) / float64(fl.rc)
+		}
+	}
+	if flows == 0 {
+		return 0, 0
+	}
+	return flows, sum / float64(flows)
+}
+
+var _ Backend = (*RCM)(nil)
+
+func init() {
+	Register("rcm", func(net *fabric.Network, cfg BackendConfig) (Backend, error) {
+		return NewRCM(net, cfg.RCM, cfg.InjectionRate)
+	})
+}

@@ -1,0 +1,276 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// gatedFlood floods a destination while honouring an arbitrary backend
+// injection gate — the Throttle-interface twin of throttledFlood.
+type gatedFlood struct {
+	g           Throttle
+	cfg         fabric.Config
+	src, dst    ib.LID
+	nextAllowed sim.Time
+	nextID      uint64
+}
+
+func (f *gatedFlood) Pull(now sim.Time) (*ib.Packet, sim.Time) {
+	if now < f.nextAllowed {
+		return nil, f.nextAllowed
+	}
+	p := &ib.Packet{
+		ID: f.nextID, Type: ib.DataPacket,
+		Src: f.src, Dst: f.dst, PayloadBytes: ib.MTU,
+		MsgID: f.nextID / 2, MsgSeq: uint8(f.nextID % 2), MsgPackets: 2,
+	}
+	f.nextID++
+	f.nextAllowed = now.Add(f.cfg.InjectionRate.TxTime(p.WireBytes()) + f.g.IRD(f.src, f.dst, p.WireBytes()))
+	return p, 0
+}
+
+func buildRCM(t *testing.T, hosts int) (*fabric.Network, *RCM) {
+	t.Helper()
+	tp, _ := topo.SingleSwitch(hosts)
+	r, err := topo.ComputeLFT(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fabric.DefaultConfig()
+	cfg.Check = true
+	n, err := fabric.New(sim.New(), tp, r, cfg, fabric.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcm, err := NewRCM(n, DefaultRCMParams(), cfg.InjectionRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHooks(rcm.Hooks())
+	return n, rcm
+}
+
+func TestRCMParamsValidate(t *testing.T) {
+	mutations := map[string]func(*RCMParams){
+		"inverted ramp":     func(p *RCMParams) { p.KminBytes, p.KmaxBytes = p.KmaxBytes, p.KminBytes },
+		"zero-width ramp":   func(p *RCMParams) { p.KmaxBytes = p.KminBytes },
+		"pmax above one":    func(p *RCMParams) { p.PMax = 1.5 },
+		"zero pmax":         func(p *RCMParams) { p.PMax = 0 },
+		"gain at one":       func(p *RCMParams) { p.G = 1 },
+		"zero timer":        func(p *RCMParams) { p.Timer = 0 },
+		"negative recovery": func(p *RCMParams) { p.FastRecovery = -1 },
+		"zero ai rate":      func(p *RCMParams) { p.AIRate = 0 },
+		"zero min rate":     func(p *RCMParams) { p.MinRate = 0 },
+	}
+	for name, mutate := range mutations {
+		p := DefaultRCMParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	p := DefaultRCMParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	// The constructor guards the line rate relation itself.
+	n, _ := buildRCM(t, 2)
+	if _, err := NewRCM(n, p, 0); err == nil {
+		t.Error("zero line rate accepted")
+	}
+	if _, err := NewRCM(n, p, p.MinRate/2); err == nil {
+		t.Error("MinRate above line rate accepted")
+	}
+}
+
+func TestRCMMarkingAccumulator(t *testing.T) {
+	// The accumulator turns the marking fraction into a deterministic
+	// stream: below Kmin nothing, on the ramp exactly floor(n·frac) of n
+	// packets, at or above Kmax every packet.
+	_, r := buildRCM(t, 2)
+	p := r.Params()
+	marks := func(queued, n int) int {
+		before := r.stats.FECNMarked
+		for i := 0; i < n; i++ {
+			pkt := &ib.Packet{Type: ib.DataPacket, Src: 0, Dst: 1, PayloadBytes: ib.MTU}
+			r.onEnqueue(0, 0, pkt, fabric.PortVLState{QueuedBytes: queued})
+		}
+		return int(r.stats.FECNMarked - before)
+	}
+	if got := marks(p.KminBytes-1, 100); got != 0 {
+		t.Errorf("below Kmin: %d marks", got)
+	}
+	// Midpoint of the ramp: fraction PMax/2 = 1/20 with the defaults.
+	mid := (p.KminBytes + p.KmaxBytes) / 2
+	if got := marks(mid, 100); got != 100/20 {
+		t.Errorf("ramp midpoint: %d marks of 100, want %d", got, 100/20)
+	}
+	if got := marks(p.KmaxBytes, 50); got != 50 {
+		t.Errorf("at Kmax: %d marks of 50, want every packet", got)
+	}
+	// Control packets use the same queue but must never be marked.
+	cnp := &ib.Packet{Type: ib.CNPPacket, Src: 0, Dst: 1}
+	before := r.stats.FECNMarked
+	r.onEnqueue(0, 0, cnp, fabric.PortVLState{QueuedBytes: p.KmaxBytes})
+	if r.stats.FECNMarked != before || cnp.FECN {
+		t.Error("control packet was ECN-marked")
+	}
+}
+
+func TestRCMRateDecreaseAndRecovery(t *testing.T) {
+	n, r := buildRCM(t, 2)
+	line := n.Config().InjectionRate
+	if got := r.Rate(0, 1); got != line {
+		t.Fatalf("idle flow rate %v, want line %v", got, line)
+	}
+	// First CNP: alpha starts at 1, so the rate is cut to line/2 and the
+	// pre-cut rate becomes the recovery target.
+	r.onCNP(0, 1)
+	if got, want := r.Rate(0, 1), line/2; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("rate after first CNP = %v, want %v", got, want)
+	}
+	wire := (&ib.Packet{Type: ib.DataPacket, PayloadBytes: ib.MTU}).WireBytes()
+	// At half rate the gate must double the spacing: one extra wire time.
+	if got, want := r.IRD(0, 1, wire), line.TxTime(wire); got != want {
+		t.Errorf("IRD at line/2 = %v, want %v", got, want)
+	}
+	if flows, mean := r.ThrottleSummary(); flows != 1 || mean < 1.99 || mean > 2.01 {
+		t.Errorf("throttle summary = (%d, %v), want (1, ~2)", flows, mean)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery: each timer period halves the gap to the target (and the
+	// target itself rises additively after fast recovery, already at
+	// line here). The rate must climb monotonically and the flow must
+	// eventually leave the table, disarming the timer.
+	prev := r.Rate(0, 1)
+	period := sim.Duration(r.Params().Timer) * TimerUnit
+	for i := 0; i < 8; i++ {
+		n.Sim().RunUntil(n.Sim().Now().Add(period))
+		now := r.Rate(0, 1)
+		if now < prev {
+			t.Fatalf("rate fell during recovery: %v -> %v", prev, now)
+		}
+		prev = now
+	}
+	n.Sim().RunUntil(sim.Time(0).Add(4 * sim.Millisecond))
+	if flows, _ := r.ThrottleSummary(); flows != 0 {
+		t.Errorf("%d flows still tabled after full recovery", flows)
+	}
+	if got := r.Rate(0, 1); got != line {
+		t.Errorf("recovered rate %v, want line %v", got, line)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMAlphaDecaysBetweenCNPs(t *testing.T) {
+	// A second CNP long after the first must cut less than the first
+	// did: alpha decays by (1-G) per timer period in between.
+	n, r := buildRCM(t, 2)
+	r.onCNP(0, 1)
+	first := r.ca[0].flows[1].alpha
+	period := sim.Duration(r.Params().Timer) * TimerUnit
+	n.Sim().RunUntil(n.Sim().Now().Add(4 * period))
+	decayed := r.ca[0].flows[1].alpha
+	if decayed >= first {
+		t.Fatalf("alpha did not decay: %v -> %v", first, decayed)
+	}
+	want := first
+	g := r.Params().G
+	for i := 0; i < 4; i++ {
+		want *= 1 - g
+	}
+	if decayed < want*0.999 || decayed > want*1.001 {
+		t.Errorf("alpha after 4 periods = %v, want %v", decayed, want)
+	}
+}
+
+func TestRCMFullLoopHotspot(t *testing.T) {
+	// Four senders overload one receiver: the output queue crosses the
+	// marking ramp, ECN marks flow to the receiver, CNPs return, rates
+	// drop. The rcm analogue of TestHotspotTriggersFullCCLoop.
+	n, r := buildRCM(t, 5)
+	bus := obs.New()
+	var cctiEvents, fecnEvents int
+	bus.Subscribe(obs.ConsumerFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindCCTIChanged:
+			cctiEvents++
+		case obs.KindFECNMarked:
+			fecnEvents++
+		}
+	}), obs.KindCCTIChanged, obs.KindFECNMarked)
+	r.SetBus(bus)
+	for s := ib.LID(1); s <= 4; s++ {
+		n.HCA(s).SetSource(&gatedFlood{g: r, cfg: n.Config(), src: s, dst: 0})
+	}
+	n.Start()
+	n.Sim().RunUntil(sim.Time(0).Add(2 * sim.Millisecond))
+
+	st := r.Stats()
+	if st.FECNMarked == 0 {
+		t.Fatal("no ECN marks under clear congestion")
+	}
+	if st.CNPSent == 0 || st.BECNReceived == 0 {
+		t.Fatalf("notification loop broken: %+v", st)
+	}
+	if st.TimerDecrements == 0 {
+		t.Fatal("recovery timer never fired")
+	}
+	if st.MaxCCTI != 0 {
+		t.Errorf("rcm reported MaxCCTI %d; it has no CCT", st.MaxCCTI)
+	}
+	if fecnEvents == 0 {
+		t.Error("marks were not published to the flight recorder")
+	}
+	// There is no CCT: the ccti-step checker rule validates CCTIChanged
+	// transitions against ibcc parameters, so rcm must never publish it.
+	if cctiEvents != 0 {
+		t.Errorf("rcm published %d CCTIChanged events", cctiEvents)
+	}
+	// Every contributor must have been slowed below line rate.
+	for s := ib.LID(1); s <= 4; s++ {
+		if got := r.Rate(s, 0); got >= n.Config().InjectionRate {
+			t.Errorf("sender %d never rate-limited (rate %v)", s, got)
+		}
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMDeterministic(t *testing.T) {
+	// Two identical runs must agree exactly on the activity counters and
+	// final per-flow rates: the mechanism has no hidden randomness.
+	run := func() (Stats, []sim.Rate) {
+		n, r := buildRCM(t, 5)
+		for s := ib.LID(1); s <= 4; s++ {
+			n.HCA(s).SetSource(&gatedFlood{g: r, cfg: n.Config(), src: s, dst: 0})
+		}
+		n.Start()
+		n.Sim().RunUntil(sim.Time(0).Add(1 * sim.Millisecond))
+		rates := make([]sim.Rate, 0, 4)
+		for s := ib.LID(1); s <= 4; s++ {
+			rates = append(rates, r.Rate(s, 0))
+		}
+		return r.Stats(), rates
+	}
+	st1, r1 := run()
+	st2, r2 := run()
+	if st1 != st2 {
+		t.Errorf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("flow %d rate diverged: %v vs %v", i+1, r1[i], r2[i])
+		}
+	}
+}

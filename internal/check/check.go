@@ -31,6 +31,18 @@ import (
 	"repro/internal/sim"
 )
 
+// CCTarget is the slice of a congestion-control backend the checker
+// reads: the structural self-check swept between events and the
+// throttle summary shown in diagnostic dumps. Every cc.Backend
+// satisfies it. When the target additionally exposes the classic IB CCA
+// parameter set (the ibcc manager's Params method), published CCTI
+// transitions are validated against it; rate-based backends have no CCT
+// and must not publish KindCCTIChanged at all.
+type CCTarget interface {
+	CheckInvariants() error
+	ThrottleSummary() (flows int, mean float64)
+}
+
 // Target bundles the model components one checker instance watches. Net,
 // CC, Pool and SourcesPending may each be nil: the checker sweeps only
 // the invariants its target supports, so unit tests can probe single
@@ -41,9 +53,10 @@ type Target struct {
 	// Net is the fabric; enables the credit-bound and custody-census
 	// sweeps. New switches its wire-custody audit on.
 	Net *fabric.Network
-	// CC is the congestion-control manager; enables the CC structural
-	// sweep and gives CCTI transition validation its parameter set.
-	CC *cc.Manager
+	// CC is the congestion-control backend; enables the CC structural
+	// sweep and (for the ibcc manager) gives CCTI transition validation
+	// its parameter set.
+	CC CCTarget
 	// Pool is the packet pool the conservation law balances.
 	Pool *ib.PacketPool
 	// SourcesPending reports how many generated packets sit in source
@@ -179,8 +192,8 @@ func New(t Target, cfg Config) *Checker {
 	if t.Net != nil {
 		t.Net.EnableAudit()
 	}
-	if t.CC != nil {
-		c.params = t.CC.Params()
+	if pp, ok := t.CC.(interface{ Params() cc.Params }); ok {
+		c.params = pp.Params()
 		c.ccParamsOK = true
 	}
 	return c
@@ -404,7 +417,7 @@ func (c *Checker) dump(w io.Writer) {
 	}
 	if c.t.CC != nil {
 		flows, mean := c.t.CC.ThrottleSummary()
-		fmt.Fprintf(w, "check: cc throttled flows=%d mean ccti=%.2f\n", flows, mean)
+		fmt.Fprintf(w, "check: cc throttled flows=%d mean throttle=%.2f\n", flows, mean)
 	}
 	if c.reg != nil {
 		marks, stalls, fwdPkts, fwdBytes := c.reg.Totals()

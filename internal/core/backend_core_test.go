@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// signedBackendRun executes a reduced radix-8 scenario with the given
+// CC setting and returns the ordered flight-recorder digest plus the
+// headline aggregates — the same trajectory comparator the golden and
+// differential tests use.
+func signedBackendRun(t *testing.T, ccOn bool, backend string) (digest string, records uint64, res *Result) {
+	t.Helper()
+	s := Default(8)
+	s.Warmup = 200 * sim.Microsecond
+	s.Measure = 400 * sim.Microsecond
+	s.CCOn = ccOn
+	s.Backend = backend
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := in.Observe(ObserveOpts{})
+	dig := obs.NewDigest()
+	ob.Bus.Subscribe(dig)
+	res = in.Execute()
+	return dig.Sum(), dig.Records(), res
+}
+
+func TestNoCCBackendMatchesCCOff(t *testing.T) {
+	// The nocc backend installs zero hooks and a nil throttle, so a
+	// CCOn run under it must take the exact code path of a CCOff run:
+	// identical event stream, identical aggregates.
+	offDig, offRec, offRes := signedBackendRun(t, false, "")
+	noDig, noRec, noRes := signedBackendRun(t, true, "nocc")
+	if offDig != noDig || offRec != noRec {
+		t.Errorf("trajectories diverged: cc-off %s/%d events vs nocc %s/%d events",
+			offDig, offRec, noDig, noRec)
+	}
+	if offRes.Summary != noRes.Summary {
+		t.Errorf("summaries diverged:\n cc-off %+v\n nocc   %+v", offRes.Summary, noRes.Summary)
+	}
+	if noRes.CCStats != (offRes.CCStats) {
+		t.Errorf("nocc reported CC activity: %+v", noRes.CCStats)
+	}
+	if noRes.Backend != "nocc" || offRes.Backend != "" {
+		t.Errorf("result backend labels: cc-off %q, nocc %q", offRes.Backend, noRes.Backend)
+	}
+}
+
+func TestExplicitIbccMatchesDefault(t *testing.T) {
+	// Selecting "ibcc" by name must be the same mechanism as the empty
+	// default selector, event for event.
+	defDig, defRec, defRes := signedBackendRun(t, true, "")
+	ibDig, ibRec, ibRes := signedBackendRun(t, true, "ibcc")
+	if defDig != ibDig || defRec != ibRec {
+		t.Errorf("trajectories diverged: default %s/%d events vs ibcc %s/%d events",
+			defDig, defRec, ibDig, ibRec)
+	}
+	if defRes.CCStats != ibRes.CCStats {
+		t.Errorf("cc stats diverged: %+v vs %+v", defRes.CCStats, ibRes.CCStats)
+	}
+	if defRes.Backend != "ibcc" || ibRes.Backend != "ibcc" {
+		t.Errorf("resolved backend names: %q and %q, want ibcc", defRes.Backend, ibRes.Backend)
+	}
+}
+
+func TestBuildRejectsUnknownBackend(t *testing.T) {
+	s := Default(8)
+	s.Backend = "no-such-mechanism"
+	if _, err := Build(s); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestOracleBackendBuildsAndGates(t *testing.T) {
+	// The oracle must come out of Build with ground truth attached: a
+	// hotspot scenario has contributors, so its share table is non-empty
+	// and the instance carries a live throttle.
+	s := Default(8)
+	s.Warmup = 200 * sim.Microsecond
+	s.Measure = 400 * sim.Microsecond
+	s.Backend = "oracle"
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Backend == nil || in.Backend.Name() != "oracle" {
+		t.Fatalf("instance backend = %v", in.Backend)
+	}
+	if in.CC != nil {
+		t.Error("oracle run must leave the ibcc manager handle nil")
+	}
+	flows, mean := in.Backend.ThrottleSummary()
+	if flows == 0 || mean <= 1 {
+		t.Errorf("oracle gates %d flows at mean depth %v; expected a populated share table", flows, mean)
+	}
+	res := in.Execute()
+	if res.Backend != "oracle" {
+		t.Errorf("result backend = %q", res.Backend)
+	}
+}

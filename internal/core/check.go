@@ -36,13 +36,18 @@ func (in *Instance) Check(o CheckOpts) *check.Checker {
 	if in.executed {
 		panic("core: Check after Execute")
 	}
-	ck := check.New(check.Target{
+	t := check.Target{
 		Sim:            in.Net.Sim(),
 		Net:            in.Net,
-		CC:             in.CC,
 		Pool:           in.Net.PacketPool(),
 		SourcesPending: in.sourcesPending,
-	}, check.Config{
+	}
+	if in.Backend != nil {
+		// Assign only a live backend: a nil cc.Backend stuffed into the
+		// interface would read as non-nil to the checker.
+		t.CC = in.Backend
+	}
+	ck := check.New(t, check.Config{
 		Window:        o.Window,
 		WatchdogAfter: o.WatchdogAfter,
 		Diagnostics:   o.Diagnostics,

@@ -138,17 +138,12 @@ func RunDegradationOpts(base Scenario, intensities []float64, seeds []uint64, o 
 				if r.Faults != nil {
 					a.dropped.Add(float64(r.Faults.DroppedPackets()))
 					a.credits.Add(float64(r.Faults.DroppedCredits))
-					switch {
-					case r.Faults.Recovery > 0:
-						a.recovered++
-						a.recovery.Add(r.Faults.Recovery.Seconds() * 1e6)
-					case r.Faults.Recovery == 0:
-						// No scheduled faults to recover from.
-						a.recovered++
-					}
-				} else {
-					// Zero plan: nothing dropped, nothing to recover from.
+				}
+				if r.Faults.Recovered() {
 					a.recovered++
+					if r.Faults != nil && r.Faults.Recovery > 0 {
+						a.recovery.Add(r.Faults.Recovery.Seconds() * 1e6)
+					}
 				}
 			}
 		}

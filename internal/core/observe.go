@@ -81,8 +81,8 @@ func (in *Instance) bus() *obs.Bus {
 	if in.busv == nil {
 		in.busv = obs.New()
 		in.Net.SetBus(in.busv)
-		if in.CC != nil {
-			in.CC.SetBus(in.busv)
+		if in.Backend != nil {
+			in.Backend.SetBus(in.busv)
 		}
 	}
 	return in.busv

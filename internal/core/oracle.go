@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// oracleHeadroom keeps the oracle's aggregate hotspot allocation just
+// under the sink capacity left by the uniform background: at 100%
+// planned utilization the sink queue random-walks into the switch
+// buffers and backpressure transiently spreads congestion upstream —
+// exactly the damage the oracle exists to avoid — while every point of
+// headroom is hotspot throughput given away. 95% balances the two.
+const oracleHeadroom = 0.95
+
+// oracleShares derives the clairvoyant per-flow fair-share allocation
+// the oracle backend paces against, from the scenario's ground truth:
+// the drawn role assignment and hotspot targeters. Each hotspot's sink
+// capacity is split max-min fairly over the subset's contributors (the
+// C nodes when active, plus the B nodes when they carry a hotspot
+// share), and every contributor→target flow is pinned to that share.
+// For moving forests, every slot of the shared target sequence is
+// gated the same way — a contributor's uniform traffic to a past or
+// future hotspot is a 1/(N−1) sliver, so over-gating it is noise.
+// Victims appear nowhere in the map and are never delayed, which is
+// exactly the selectivity an ideal mechanism has.
+func oracleShares(s *Scenario, pop *Population, targeters []traffic.Targeter) map[ib.FlowKey]sim.Rate {
+	shares := make(map[ib.FlowKey]sim.Rate)
+	subsetContribs := make([][]ib.LID, s.NumHotspots)
+	for node, role := range pop.Roles {
+		sub := pop.Subset[node]
+		if sub < 0 {
+			continue // victim
+		}
+		switch role {
+		case RoleC:
+			if !s.CNodesActive {
+				continue
+			}
+		case RoleB:
+			if s.PPercent == 0 {
+				continue
+			}
+		default:
+			continue
+		}
+		subsetContribs[sub] = append(subsetContribs[sub], ib.LID(node))
+	}
+	// The hotspot sink also absorbs the uniform background: every node
+	// spreads its non-hotspot load over the other N−1 nodes, and the
+	// oracle must leave room for that sliver or its "fair" shares stand
+	// a permanent queue at the sink. uniformBits is the total uniform
+	// offered load (ground truth from the role mix), so each sink sees
+	// uniformBits/(N−1) of it in expectation.
+	n := s.NumNodes()
+	var uniformBits float64
+	for _, role := range pop.Roles {
+		switch role {
+		case RoleV:
+			uniformBits += float64(s.Fabric.InjectionRate)
+		case RoleB:
+			uniformBits += float64(s.Fabric.InjectionRate) * float64(100-s.PPercent) / 100
+		}
+	}
+	background := sim.Rate(uniformBits / float64(n-1))
+	for sub, contribs := range subsetContribs {
+		if len(contribs) == 0 {
+			continue
+		}
+		// Split what the background leaves of the sink, with a little
+		// headroom so transient bursts drain instead of standing.
+		capacity := (s.Fabric.SinkRate - background) * oracleHeadroom
+		if capacity <= 0 {
+			capacity = s.Fabric.SinkRate / 100
+		}
+		share := capacity / sim.Rate(len(contribs))
+		for _, target := range targeterLIDs(targeters[sub]) {
+			for _, c := range contribs {
+				if c == target {
+					continue // generators never send to themselves
+				}
+				shares[ib.FlowKey{Src: c, Dst: target}] = share
+			}
+		}
+	}
+	return shares
+}
+
+// targeterLIDs returns the distinct hotspot LIDs a targeter will ever
+// aim at.
+func targeterLIDs(t traffic.Targeter) []ib.LID {
+	switch tg := t.(type) {
+	case traffic.StaticTarget:
+		return []ib.LID{ib.LID(tg)}
+	case *traffic.MovingTarget:
+		seen := make(map[ib.LID]bool, len(tg.Seq))
+		out := make([]ib.LID, 0, len(tg.Seq))
+		for _, lid := range tg.Seq {
+			if !seen[lid] {
+				seen[lid] = true
+				out = append(out, lid)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}

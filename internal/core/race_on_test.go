@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// the bench guards skip under it — instrumented wall times say nothing
+// about the production hot path.
+const raceEnabled = true

@@ -21,6 +21,9 @@ type Result struct {
 	Name string
 	// CCOn echoes whether congestion control ran.
 	CCOn bool
+	// Backend is the resolved congestion-control backend name ("" when
+	// CC is off).
+	Backend string
 	// Summary holds the class-aggregated receive rates.
 	Summary metrics.Summary
 	// Rates holds the per-node rates behind the summary.
@@ -57,7 +60,12 @@ type Instance struct {
 	Scenario Scenario
 	// Net is the assembled fabric.
 	Net *fabric.Network
-	// CC is the congestion control manager, nil when CC is off.
+	// Backend is the congestion control backend, nil when CC is off.
+	Backend cc.Backend
+	// CC is the classic IB CCA manager when the scenario runs the
+	// default ibcc backend; nil for every other backend and when CC is
+	// off. It exposes the manager-specific accessors (CCTI, Params) the
+	// inspection tools read.
 	CC *cc.Manager
 	// Pop is the node-role assignment.
 	Pop Population
@@ -108,20 +116,33 @@ func Build(s Scenario) (*Instance, error) {
 		return nil, err
 	}
 
-	var throttle traffic.Throttle
-	var mgr *cc.Manager
-	if s.CCOn {
-		mgr, err = cc.New(net, s.CC)
-		if err != nil {
-			return nil, err
-		}
-		net.SetHooks(mgr.Hooks())
-		throttle = mgr
-	}
-
+	// The population and targeters are drawn before the backend is
+	// created so the clairvoyant oracle can read its ground truth;
+	// neither the backend constructors nor the draws consume the other's
+	// randomness, so the order swap leaves every trajectory untouched
+	// (the golden kernel-signature tests pin this).
 	root := sim.NewRNG(s.Seed)
 	pop := assignRoles(&s, root.Derive(1))
 	targeters := buildTargeters(&s, &pop, root.Derive(2))
+
+	var throttle traffic.Throttle
+	var backend cc.Backend
+	var mgr *cc.Manager
+	if s.CCOn {
+		bcfg := cc.BackendConfig{Params: s.CC, InjectionRate: s.Fabric.InjectionRate}
+		if s.Backend == "oracle" {
+			bcfg.OracleShares = oracleShares(&s, &pop, targeters)
+		}
+		backend, err = cc.NewBackend(s.Backend, net, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		net.SetHooks(backend.Hooks())
+		if th := backend.Throttle(); th != nil {
+			throttle = th
+		}
+		mgr, _ = backend.(*cc.Manager)
+	}
 
 	sources := make([]*traffic.Generator, s.NumNodes())
 	for node := 0; node < s.NumNodes(); node++ {
@@ -173,6 +194,7 @@ func Build(s Scenario) (*Instance, error) {
 	return &Instance{
 		Scenario:  s,
 		Net:       net,
+		Backend:   backend,
 		CC:        mgr,
 		Pop:       pop,
 		collector: collector,
@@ -222,8 +244,9 @@ func (in *Instance) Execute() *Result {
 			res.RoleTxGbps[r] /= float64(counts[r])
 		}
 	}
-	if in.CC != nil {
-		res.CCStats = in.CC.Stats()
+	if in.Backend != nil {
+		res.Backend = in.Backend.Name()
+		res.CCStats = in.Backend.Stats()
 	}
 	if in.injector != nil {
 		res.Faults = in.injector.Stats()

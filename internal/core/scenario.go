@@ -27,7 +27,15 @@ type Scenario struct {
 
 	// CCOn enables the congestion control mechanism.
 	CCOn bool
+	// Backend selects the congestion-control backend by registry name
+	// when CCOn is set; empty resolves to cc.DefaultBackend (the classic
+	// IB CCA manager). The omitempty tag keeps the canonical JSON — and
+	// with it exp.Fingerprint — identical to pre-backend scenarios
+	// whenever the default is in effect.
+	Backend string `json:"Backend,omitempty"`
 	// CC are the congestion control parameters (Table I by default).
+	// They configure the default ibcc backend only; the other backends
+	// carry their own calibration.
 	CC cc.Params
 	// Fabric is the network configuration.
 	Fabric fabric.Config
@@ -128,8 +136,15 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("core: negative hotspot lifetime")
 	}
 	if s.CCOn {
-		if err := s.CC.Validate(); err != nil {
-			return err
+		if !cc.Known(s.Backend) {
+			return fmt.Errorf("core: unknown cc backend %q (registered: %v)", s.Backend, cc.Names())
+		}
+		// The IB CCA parameter set configures the default backend only;
+		// other backends may run with a zero Params.
+		if s.Backend == "" || s.Backend == cc.DefaultBackend {
+			if err := s.CC.Validate(); err != nil {
+				return err
+			}
 		}
 	}
 	if s.Faults != nil {

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// TreedResult pairs a run's result with the congestion-tree report its
+// flight recorder reconstructed — the unit the tournament scorer
+// consumes.
+type TreedResult struct {
+	Result *Result
+	// Trees is the congestion-tree analyzer's report over the run.
+	Trees *obs.TreeReport
+	// Check is the invariant checker's report, nil for unchecked runs.
+	Check *check.Report
+}
+
+// RunTreed executes one scenario with the congestion-tree analyzer
+// attached (and, when checked, under the runtime invariant checker; a
+// run with violations returns the report alongside the error).
+func RunTreed(s Scenario, checked bool) (*TreedResult, error) {
+	in, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	ob := in.Observe(ObserveOpts{Tree: true})
+	var ck *check.Checker
+	if checked {
+		ck = in.Check(CheckOpts{})
+	}
+	res := in.Execute()
+	tr := &TreedResult{Result: res, Trees: ob.TreeReport()}
+	if ck != nil {
+		tr.Check = ck.Report()
+		if err := tr.Check.Err(); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}
+
+// RunTreedBatch executes the scenarios on the sweep worker pool with
+// the tree analyzer attached to every run, returning results in
+// submission order. Opts.Lookup is not consulted: stored artifacts
+// carry no flight-recorder stream, so a tree-scored sweep always
+// simulates.
+func RunTreedBatch(o Opts, scenarios []Scenario) ([]*TreedResult, error) {
+	var mu sync.Mutex
+	return par.Map(o.Ctx, o.workers(), len(scenarios), func(i int) (*TreedResult, error) {
+		tr, err := RunTreed(scenarios[i], o.Check)
+		if err != nil {
+			return nil, err
+		}
+		if o.OnResult != nil {
+			mu.Lock()
+			o.OnResult(scenarios[i], tr.Result, false)
+			mu.Unlock()
+		}
+		return tr, nil
+	})
+}

@@ -1,0 +1,155 @@
+package tournament
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/obs"
+)
+
+func almost(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"one-takes-all", []float64{8, 0, 0, 0}, 0.25},
+		{"two-to-one", []float64{2, 1}, 0.9},
+		{"single", []float64{3}, 1},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); !almost(got, c.want) {
+			t.Errorf("%s: Jain = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestVictimSources(t *testing.T) {
+	// Hand-built classification: source 1 contributes, sources 2 and 4
+	// are pure victims, source 3 does both (a windy B node) and must be
+	// excluded from the pure-victim set.
+	rep := &obs.TreeReport{Flows: map[ib.FlowKey]obs.FlowClass{
+		{Src: 1, Dst: 0}: obs.FlowContributor,
+		{Src: 2, Dst: 5}: obs.FlowVictim,
+		{Src: 4, Dst: 6}: obs.FlowVictim,
+		{Src: 3, Dst: 0}: obs.FlowContributor,
+		{Src: 3, Dst: 7}: obs.FlowVictim,
+	}}
+	got := VictimSources(rep)
+	want := []ib.LID{2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("victims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("victims = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVictimSourcesZeroTrees(t *testing.T) {
+	// A markless run (nocc, oracle) reconstructs zero trees, so every
+	// observed flow is a victim and every source a pure victim.
+	rep := &obs.TreeReport{Flows: map[ib.FlowKey]obs.FlowClass{
+		{Src: 0, Dst: 1}: obs.FlowVictim,
+		{Src: 1, Dst: 2}: obs.FlowVictim,
+		{Src: 2, Dst: 0}: obs.FlowVictim,
+	}}
+	if got := VictimSources(rep); len(got) != 3 {
+		t.Errorf("zero-tree victims = %v, want all 3 sources", got)
+	}
+	empty := &obs.TreeReport{Flows: map[ib.FlowKey]obs.FlowClass{}}
+	if got := VictimSources(empty); len(got) != 0 {
+		t.Errorf("empty report victims = %v", got)
+	}
+}
+
+func TestScoreRun(t *testing.T) {
+	// Four nodes, node 0 the hotspot: scoring covers nodes 1..3 only.
+	// sinkGbps 0 marks a shape without hotspot traffic, so the score is
+	// the pure victim-side product.
+	rx := []float64{99e9, 4e9, 4e9, 4e9}
+	hot := []ib.LID{0}
+	sc := ScoreRun(nil, rx, hot, 8.0, 0)
+	if !almost(sc.Fairness, 1) {
+		t.Errorf("fairness = %v, want 1 (equal non-hotspot rates)", sc.Fairness)
+	}
+	if !almost(sc.Efficiency, 0.5) {
+		t.Errorf("efficiency = %v, want 0.5 (4 of 8 Gbit/s)", sc.Efficiency)
+	}
+	if !almost(sc.FairnessScore, 0.5) {
+		t.Errorf("score = %v, want fairness×efficiency = 0.5", sc.FairnessScore)
+	}
+	if sc.TreeVictimGbps != 0 {
+		t.Errorf("tree victims without a report: %v", sc.TreeVictimGbps)
+	}
+}
+
+func TestScoreRunHotspotUtil(t *testing.T) {
+	// With hotspot traffic offered, the sink's delivered fraction joins
+	// the score at hotspotWeight: node 0 drains 6 of 12 Gbit/s.
+	rx := []float64{6e9, 4e9, 4e9, 4e9}
+	hot := []ib.LID{0}
+	sc := ScoreRun(nil, rx, hot, 8.0, 12.0)
+	if !almost(sc.HotspotUtil, 0.5) {
+		t.Errorf("hotspot util = %v, want 0.5", sc.HotspotUtil)
+	}
+	want := 1.0 * (victimWeight*0.5 + hotspotWeight*0.5)
+	if !almost(sc.FairnessScore, want) {
+		t.Errorf("score = %v, want weighted blend %v", sc.FairnessScore, want)
+	}
+	// An idle sink zeroes the hotspot term but not the victim term.
+	rx[0] = 0
+	sc = ScoreRun(nil, rx, hot, 8.0, 12.0)
+	if !almost(sc.HotspotUtil, 0) || !almost(sc.FairnessScore, victimWeight*0.5) {
+		t.Errorf("idle-sink score = %+v", sc)
+	}
+}
+
+func TestScoreRunClampsEfficiency(t *testing.T) {
+	rx := []float64{20e9, 20e9}
+	sc := ScoreRun(nil, rx, nil, 8.0, 0)
+	if !almost(sc.Efficiency, 1) {
+		t.Errorf("efficiency = %v, want clamp at 1", sc.Efficiency)
+	}
+}
+
+func TestScoreRunAllVictims(t *testing.T) {
+	// All-victims edge: uniform starvation is perfectly fair but scores
+	// near zero through the efficiency factor.
+	rx := []float64{0.1e9, 0.1e9, 0.1e9, 0.1e9}
+	rep := &obs.TreeReport{Flows: map[ib.FlowKey]obs.FlowClass{
+		{Src: 0, Dst: 1}: obs.FlowVictim,
+		{Src: 1, Dst: 2}: obs.FlowVictim,
+		{Src: 2, Dst: 3}: obs.FlowVictim,
+		{Src: 3, Dst: 0}: obs.FlowVictim,
+	}}
+	sc := ScoreRun(rep, rx, nil, 10.0, 0)
+	if !almost(sc.Fairness, 1) {
+		t.Errorf("fairness = %v, want 1", sc.Fairness)
+	}
+	if !almost(sc.Efficiency, 0.01) {
+		t.Errorf("efficiency = %v, want 0.01", sc.Efficiency)
+	}
+	if !almost(sc.FairnessScore, 0.01) {
+		t.Errorf("score = %v, want 0.01", sc.FairnessScore)
+	}
+	if !almost(sc.TreeVictimGbps, 0.1) {
+		t.Errorf("tree victim rate = %v, want 0.1", sc.TreeVictimGbps)
+	}
+}
+
+func TestScoreRunZeroTmax(t *testing.T) {
+	// A degenerate scenario with no uniform load (tmax 0) must not
+	// divide by zero; it scores 0.
+	sc := ScoreRun(nil, []float64{1e9}, nil, 0, 0)
+	if sc.Efficiency != 0 || sc.FairnessScore != 0 {
+		t.Errorf("zero-tmax score = %+v", sc)
+	}
+}

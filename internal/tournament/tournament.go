@@ -1,0 +1,337 @@
+package tournament
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// tournamentPlanSalt decorrelates the synthesized fault-plan seed from
+// the scenario's traffic seed, exactly as the degradation sweep's salt
+// does (see core.RunDegradationOpts); a distinct salt keeps tournament
+// plans off the degradation sweep's plan sequence. The plan for one
+// (intensity, seed) cell is shared by every backend and corpus shape,
+// so cells differ only in the mechanism under test.
+const tournamentPlanSalt = 0x7bc1a5e11a
+
+// tournamentSamples matches the degradation sweep's rate-sampler
+// resolution for the recovery metric.
+const tournamentSamples = 64
+
+// Shape is one corpus entry: a named mutation of the base scenario.
+type Shape struct {
+	Name  string
+	Apply func(*core.Scenario)
+}
+
+// DefaultCorpus is the tournament's scenario corpus: the Table II
+// traffic shapes (uniform background, hotspot forest) plus the paper's
+// windy and moving variants.
+func DefaultCorpus() []Shape {
+	return []Shape{
+		{Name: "uniform", Apply: func(s *core.Scenario) {
+			s.CNodesActive = false
+		}},
+		{Name: "hotspots", Apply: func(s *core.Scenario) {
+			s.CNodesActive = true
+		}},
+		{Name: "windy", Apply: func(s *core.Scenario) {
+			s.CNodesActive = true
+			s.FracBPct = 25
+			s.PPercent = 60
+		}},
+		{Name: "moving", Apply: func(s *core.Scenario) {
+			s.CNodesActive = true
+			s.HotspotLifetime = (s.Warmup + s.Measure) / 6
+		}},
+	}
+}
+
+// Config describes one tournament.
+type Config struct {
+	// Base is the scenario every cell starts from (typically
+	// core.Default(radix), possibly with reduced windows); the corpus
+	// shapes, seeds, intensities and backends overwrite their fields.
+	Base core.Scenario
+	// Backends are the registry names to bracket; empty enters every
+	// registered backend.
+	Backends []string
+	// Intensities is the fault-intensity grid (0 = unfaulted baseline).
+	Intensities []float64
+	// Seeds replicate every cell.
+	Seeds []uint64
+	// Corpus overrides DefaultCorpus when non-nil.
+	Corpus []Shape
+	// Opts configures sweep execution (workers, cancellation, checker).
+	Opts core.Opts
+}
+
+// Cell is one aggregated (scenario shape, fault intensity, backend)
+// entry of the tournament table.
+type Cell struct {
+	Scenario  string  `json:"scenario"`
+	Intensity float64 `json:"intensity"`
+	Backend   string  `json:"backend"`
+	// Rank orders the backends within this (scenario, intensity) group
+	// by FairnessScore, best first, 1-based.
+	Rank  int `json:"rank"`
+	Seeds int `json:"seeds"`
+
+	// Seed-mean scoring block (see RunScore).
+	FairnessScore float64 `json:"fairness_score"`
+	Fairness      float64 `json:"fairness"`
+	Efficiency    float64 `json:"efficiency"`
+	HotspotUtil   float64 `json:"hotspot_util"`
+
+	// Ground-truth throughput aggregates (Gbit/s, seed means).
+	VictimGbps float64 `json:"victim_gbps"`
+	NonHotGbps float64 `json:"nonhot_gbps"`
+	TotalGbps  float64 `json:"total_gbps"`
+
+	// FECN-record diagnostics (seed means).
+	Trees          float64 `json:"trees"`
+	TreeVictimGbps float64 `json:"tree_victim_gbps"`
+	FECNMarked     float64 `json:"fecn_marked"`
+
+	// Fault recovery, mirroring the degradation sweep's semantics:
+	// Recovered counts seeds that recovered (trivially when no faults
+	// were scheduled), RecoveryUS the mean recovery time over them.
+	RecoveryUS float64 `json:"recovery_us"`
+	Recovered  int     `json:"recovered"`
+}
+
+// Table is the tournament artifact.
+type Table struct {
+	Radix       int       `json:"radix"`
+	Backends    []string  `json:"backends"`
+	Intensities []float64 `json:"intensities"`
+	Seeds       []uint64  `json:"seeds"`
+	Corpus      []string  `json:"corpus"`
+	Checked     bool      `json:"checked"`
+	// Cells in corpus order, then intensity order, then rank order.
+	Cells []Cell `json:"cells"`
+}
+
+// Run executes the tournament: len(corpus) × len(intensities) ×
+// len(seeds) × len(backends) independent simulations fanned out over
+// the sweep worker pool, reduced to the ranked table.
+func Run(cfg Config) (*Table, error) {
+	if len(cfg.Seeds) == 0 || len(cfg.Intensities) == 0 {
+		return nil, fmt.Errorf("tournament: needs seeds and intensities")
+	}
+	backends := cfg.Backends
+	if len(backends) == 0 {
+		backends = cc.Names()
+	}
+	for _, b := range backends {
+		if !cc.Known(b) {
+			return nil, fmt.Errorf("tournament: unknown backend %q (registered: %v)", b, cc.Names())
+		}
+	}
+	corpus := cfg.Corpus
+	if corpus == nil {
+		corpus = DefaultCorpus()
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("tournament: empty corpus")
+	}
+
+	// One fault plan per (intensity, seed), shared across shapes and
+	// backends: the horizon depends only on the base windows and the
+	// link set only on the radix.
+	tp, err := topo.FatTree(cfg.Base.Radix)
+	if err != nil {
+		return nil, err
+	}
+	links := fault.FabricLinks(tp)
+	horizon := sim.Time(0).Add(cfg.Base.Warmup + cfg.Base.Measure)
+	plans := make(map[[2]int]*fault.Plan, len(cfg.Intensities)*len(cfg.Seeds))
+	for ii, in := range cfg.Intensities {
+		for si, seed := range cfg.Seeds {
+			plan, err := fault.Synth(fault.SynthConfig{
+				Seed:        seed ^ (tournamentPlanSalt + uint64(ii)*0x9e3779b97f4a7c15),
+				Intensity:   in,
+				Links:       links,
+				Horizon:     horizon,
+				SampleEvery: (cfg.Base.Warmup + cfg.Base.Measure) / tournamentSamples,
+			})
+			if err != nil {
+				return nil, err
+			}
+			plans[[2]int{ii, si}] = plan
+		}
+	}
+
+	scenarios := make([]core.Scenario, 0, len(corpus)*len(cfg.Intensities)*len(cfg.Seeds)*len(backends))
+	for _, shape := range corpus {
+		for ii, in := range cfg.Intensities {
+			for si, seed := range cfg.Seeds {
+				for _, backend := range backends {
+					s := cfg.Base
+					shape.Apply(&s)
+					s.Seed = seed
+					s.CCOn = true
+					s.Backend = backend
+					s.Faults = plans[[2]int{ii, si}]
+					s.Name = fmt.Sprintf("tournament %s in=%.2f seed=%d cc=%s", shape.Name, in, seed, backend)
+					scenarios = append(scenarios, s)
+				}
+			}
+		}
+	}
+	results, err := core.RunTreedBatch(cfg.Opts, scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &Table{
+		Radix:       cfg.Base.Radix,
+		Backends:    backends,
+		Intensities: cfg.Intensities,
+		Seeds:       cfg.Seeds,
+		Checked:     cfg.Opts.Check,
+	}
+	for _, shape := range corpus {
+		tab.Corpus = append(tab.Corpus, shape.Name)
+	}
+
+	// Reduce in submission order: seeds collapse into one Cell per
+	// (shape, intensity, backend).
+	idx := 0
+	for _, shape := range corpus {
+		// Hotspot utilization only scores shapes that offer hotspot
+		// traffic; pass sink capacity 0 otherwise so the factor stays
+		// neutral (see ScoreRun).
+		shaped := cfg.Base
+		shape.Apply(&shaped)
+		sinkGbps := 0.0
+		if shaped.CNodesActive || shaped.PPercent > 0 {
+			sinkGbps = shaped.Fabric.SinkRate.Gbps()
+		}
+		for _, in := range cfg.Intensities {
+			group := make([]Cell, len(backends))
+			acc := make([]cellAcc, len(backends))
+			for range cfg.Seeds {
+				for bi := range backends {
+					acc[bi].add(results[idx], sinkGbps)
+					idx++
+				}
+			}
+			for bi, backend := range backends {
+				group[bi] = acc[bi].cell()
+				group[bi].Scenario = shape.Name
+				group[bi].Intensity = in
+				group[bi].Backend = backend
+			}
+			rank(group)
+			tab.Cells = append(tab.Cells, group...)
+		}
+	}
+	return tab, nil
+}
+
+// cellAcc accumulates one cell's runs across seeds.
+type cellAcc struct {
+	score, fair, eff, hotutil, victim, nonhot, total stats.Acc
+	trees, treeVictim, marks, recovery               stats.Acc
+	recovered, seeds                                 int
+}
+
+func (a *cellAcc) add(tr *core.TreedResult, sinkGbps float64) {
+	r := tr.Result
+	sc := ScoreRun(tr.Trees, r.Rates.RxPayload, r.Hotspots, r.TMaxGbps, sinkGbps)
+	a.seeds++
+	a.score.Add(sc.FairnessScore)
+	a.fair.Add(sc.Fairness)
+	a.eff.Add(sc.Efficiency)
+	a.hotutil.Add(sc.HotspotUtil)
+	a.victim.Add(r.RoleRxGbps[core.RoleV])
+	a.nonhot.Add(r.Summary.NonHotspotAvgGbps)
+	a.total.Add(r.Summary.TotalGbps)
+	a.trees.Add(float64(len(tr.Trees.Trees)))
+	a.treeVictim.Add(sc.TreeVictimGbps)
+	a.marks.Add(float64(r.CCStats.FECNMarked))
+	if r.Faults.Recovered() {
+		a.recovered++
+		if r.Faults != nil && r.Faults.Recovery > 0 {
+			a.recovery.Add(r.Faults.Recovery.Seconds() * 1e6)
+		}
+	}
+}
+
+func (a *cellAcc) cell() Cell {
+	return Cell{
+		Seeds:          a.seeds,
+		FairnessScore:  a.score.Mean(),
+		Fairness:       a.fair.Mean(),
+		Efficiency:     a.eff.Mean(),
+		HotspotUtil:    a.hotutil.Mean(),
+		VictimGbps:     a.victim.Mean(),
+		NonHotGbps:     a.nonhot.Mean(),
+		TotalGbps:      a.total.Mean(),
+		Trees:          a.trees.Mean(),
+		TreeVictimGbps: a.treeVictim.Mean(),
+		FECNMarked:     a.marks.Mean(),
+		RecoveryUS:     a.recovery.Mean(),
+		Recovered:      a.recovered,
+	}
+}
+
+// rank orders one (scenario, intensity) group best-first by
+// FairnessScore (backend name breaks exact ties deterministically) and
+// writes the 1-based ranks.
+func rank(group []Cell) {
+	sort.SliceStable(group, func(i, j int) bool {
+		if group[i].FairnessScore != group[j].FairnessScore {
+			return group[i].FairnessScore > group[j].FairnessScore
+		}
+		return group[i].Backend < group[j].Backend
+	})
+	for i := range group {
+		group[i].Rank = i + 1
+	}
+}
+
+// Cell lookup for tests and tools.
+func (t *Table) Cell(scenario string, intensity float64, backend string) *Cell {
+	for i := range t.Cells {
+		c := &t.Cells[i]
+		if c.Scenario == scenario && c.Intensity == intensity && c.Backend == backend {
+			return c
+		}
+	}
+	return nil
+}
+
+// Print renders the ranked comparison table.
+func Print(w io.Writer, t *Table) {
+	checked := ""
+	if t.Checked {
+		checked = ", invariants checked"
+	}
+	fmt.Fprintf(w, "CC backend tournament — radix %d, %d seeds, corpus %v%s\n",
+		t.Radix, len(t.Seeds), t.Corpus, checked)
+	fmt.Fprintf(w, "  %-9s %9s  %4s %-7s  %6s %6s %6s %6s  %8s %8s %8s  %6s %9s  %9s\n",
+		"scenario", "intensity", "rank", "backend",
+		"score", "fair", "eff", "hotutl", "victimG", "nonhotG", "totalG", "trees", "marks", "recov")
+	var prev string
+	for _, c := range t.Cells {
+		group := fmt.Sprintf("%s/%v", c.Scenario, c.Intensity)
+		if prev != "" && group != prev {
+			fmt.Fprintln(w)
+		}
+		prev = group
+		fmt.Fprintf(w, "  %-9s %9.2f  %4d %-7s  %6.3f %6.3f %6.3f %6.3f  %8.3f %8.3f %8.2f  %6.1f %9.0f  %6d/%-2d\n",
+			c.Scenario, c.Intensity, c.Rank, c.Backend,
+			c.FairnessScore, c.Fairness, c.Efficiency, c.HotspotUtil,
+			c.VictimGbps, c.NonHotGbps, c.TotalGbps,
+			c.Trees, c.FECNMarked, c.Recovered, c.Seeds)
+	}
+}

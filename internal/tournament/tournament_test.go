@@ -1,0 +1,131 @@
+package tournament
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestRunValidation(t *testing.T) {
+	base := core.Default(8)
+	if _, err := Run(Config{Base: base}); err == nil {
+		t.Error("empty seeds/intensities accepted")
+	}
+	if _, err := Run(Config{Base: base, Seeds: []uint64{1}, Intensities: []float64{0},
+		Backends: []string{"bogus"}}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := Run(Config{Base: base, Seeds: []uint64{1}, Intensities: []float64{0},
+		Corpus: []Shape{}}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestDefaultCorpus(t *testing.T) {
+	corpus := DefaultCorpus()
+	if len(corpus) < 4 {
+		t.Fatalf("corpus has %d shapes, want >= 4", len(corpus))
+	}
+	seen := map[string]bool{}
+	for _, sh := range corpus {
+		if sh.Name == "" || sh.Apply == nil || seen[sh.Name] {
+			t.Fatalf("bad corpus entry %q", sh.Name)
+		}
+		seen[sh.Name] = true
+	}
+	// The moving shape must actually move its hotspots.
+	s := core.Default(8)
+	for _, sh := range corpus {
+		if sh.Name == "moving" {
+			sh.Apply(&s)
+			if s.HotspotLifetime <= 0 {
+				t.Error("moving shape left hotspots static")
+			}
+		}
+	}
+}
+
+// TestTournamentBracketsBackends is the subsystem's acceptance test: a
+// reduced tournament over all four backends must produce a ranked table
+// covering the full corpus × intensity grid with the clairvoyant
+// bracket intact on the hotspot scenario — oracle ≥ ibcc ≥ nocc on the
+// fairness score, the whole point of running bounds alongside the
+// mechanism under study.
+func TestTournamentBracketsBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament run is not short")
+	}
+	base := core.Default(8)
+	base.Warmup = 400 * sim.Microsecond
+	base.Measure = 800 * sim.Microsecond
+	tab, err := Run(Config{
+		Base:        base,
+		Backends:    []string{"ibcc", "nocc", "oracle", "rcm"},
+		Intensities: []float64{0, 0.6},
+		Seeds:       []uint64{1, 2},
+		Opts:        core.Opts{Workers: core.WorkersAll},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tab.Cells), 4*2*4; got != want {
+		t.Fatalf("%d cells, want %d (4 shapes x 2 intensities x 4 backends)", got, want)
+	}
+	// Every (scenario, intensity) group carries a complete 1..4 ranking.
+	groups := map[string][]int{}
+	for _, c := range tab.Cells {
+		key := c.Scenario + "/" + strings.Repeat("i", int(c.Intensity*10))
+		groups[key] = append(groups[key], c.Rank)
+	}
+	if len(groups) != 8 {
+		t.Fatalf("%d scenario x intensity groups, want 8", len(groups))
+	}
+	for key, ranks := range groups {
+		seen := map[int]bool{}
+		for _, r := range ranks {
+			seen[r] = true
+		}
+		for want := 1; want <= 4; want++ {
+			if !seen[want] {
+				t.Errorf("group %s missing rank %d (ranks %v)", key, want, ranks)
+			}
+		}
+	}
+	// The clairvoyant bracket on the hotspot forest, both intensities.
+	for _, in := range tab.Intensities {
+		oracle := tab.Cell("hotspots", in, "oracle")
+		ibcc := tab.Cell("hotspots", in, "ibcc")
+		nocc := tab.Cell("hotspots", in, "nocc")
+		if oracle == nil || ibcc == nil || nocc == nil {
+			t.Fatalf("hotspot cells missing at intensity %v", in)
+		}
+		if oracle.FairnessScore < ibcc.FairnessScore {
+			t.Errorf("intensity %v: oracle score %.4f below ibcc %.4f — the upper bound lost to the mechanism",
+				in, oracle.FairnessScore, ibcc.FairnessScore)
+		}
+		if ibcc.FairnessScore < nocc.FairnessScore {
+			t.Errorf("intensity %v: ibcc score %.4f below nocc %.4f — the mechanism lost to doing nothing",
+				in, ibcc.FairnessScore, nocc.FairnessScore)
+		}
+		// The mechanisms must actually act: ibcc marks, nocc must not.
+		if ibcc.FECNMarked == 0 {
+			t.Errorf("intensity %v: ibcc marked nothing on a hotspot forest", in)
+		}
+		if nocc.FECNMarked != 0 || oracle.FECNMarked != 0 {
+			t.Errorf("intensity %v: markless backends reported marks (nocc %v, oracle %v)",
+				in, nocc.FECNMarked, oracle.FECNMarked)
+		}
+	}
+	// The render covers every backend and shape.
+	var buf bytes.Buffer
+	Print(&buf, tab)
+	out := buf.String()
+	for _, want := range []string{"ibcc", "nocc", "oracle", "rcm", "uniform", "hotspots", "windy", "moving"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
