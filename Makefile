@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament bench bench-obs bench-kernel paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament telemetry bench bench-obs bench-kernel paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -63,6 +63,21 @@ tournament:
 	$(GO) run ./cmd/paperbench -radix 8 -tournament /tmp/ibcc-tournament.json \
 		-cc ibcc,nocc -intensities 0.6 -seeds 2 -check
 	$(GO) run ./cmd/cctinspect -tournament /tmp/ibcc-tournament.json
+
+# Telemetry smoke: the telemetry unit suite (histogram quantile bounds,
+# sampler zero-perturbation, span tracker, report schema, HTTP server),
+# the obs-layer digest-stability guards, then end to end: a short sweep
+# with the live dashboard on an ephemeral port, /metrics.json probed
+# mid-sweep and after it, the unified run report written and finally
+# validated + rendered back with cctinspect.
+telemetry:
+	$(GO) test -count=1 ./internal/telemetry
+	$(GO) test -count=1 ./internal/obs -run 'Digest|Telemetry|MsgCompleted'
+	$(GO) test -count=1 ./internal/core -run 'Telemetry'
+	$(GO) run ./cmd/paperbench -radix 8 -degradation /tmp/ibcc-telemetry-deg.json \
+		-intensities 0,0.6 -seeds 1 -serve 127.0.0.1:0 -serve-probe \
+		-report /tmp/ibcc-telemetry-report.json
+	$(GO) run ./cmd/cctinspect -report /tmp/ibcc-telemetry-report.json
 
 bench:
 	$(GO) test -bench=. -benchmem

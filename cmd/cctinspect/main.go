@@ -10,12 +10,15 @@
 //
 // With -tournament it instead renders a backend-tournament JSON
 // artifact (written by paperbench -tournament) as the ranked comparison
-// table.
+// table, and with -report it validates and summarizes a unified
+// run-report artifact (written by paperbench -report), rendering an
+// embedded tournament table when one is present.
 //
 //	cctinspect -threshold 3
 //	cctinspect -run -radix 12 -fracb 100 -p 60 -interval 500us
 //	cctinspect -run -check    # the same, audited by the invariant checker
 //	cctinspect -tournament tour.json
+//	cctinspect -report run.json
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tournament"
 )
 
@@ -51,11 +55,19 @@ func main() {
 		interval = flag.Duration("interval", 500*time.Microsecond, "-run table bucket size")
 		checkInv = flag.Bool("check", false, "run the -run scenario under the runtime invariant checker; exit non-zero on violations")
 		tourn    = flag.String("tournament", "", "render a backend-tournament JSON artifact (from paperbench -tournament) and exit")
+		report   = flag.String("report", "", "validate and summarize a run-report JSON artifact (from paperbench -report) and exit; non-zero on schema violations")
 	)
 	flag.Parse()
 
 	if *tourn != "" {
 		if err := renderTournament(*tourn); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *report != "" {
+		if err := renderReport(*report); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -134,6 +146,62 @@ func renderTournament(path string) error {
 		return fmt.Errorf("%s: no tournament cells", path)
 	}
 	tournament.Print(os.Stdout, &tab)
+	return nil
+}
+
+// renderReport validates a run-report artifact and prints its summary:
+// orchestration stats, telemetry aggregates, the kernel-bench trend,
+// and — for tournament reports — the embedded ranked table.
+func renderReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := telemetry.ValidateReport(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("run report: %s (%s), kind %s, scenario %s radix %d seeds %d\n",
+		path, rep.GeneratedAt, rep.Kind, rep.Name, rep.Radix, rep.Seeds)
+	if st := rep.Sweep; st != nil {
+		fmt.Printf("  sweep    : %d/%d jobs (%d failed, %d cached), %d events in %.0f ms (%.1fM events/s), %d workers at %.0f%% util\n",
+			st.Done, st.Total, st.Failed, st.Cached, st.Events, st.ElapsedMS,
+			st.EventsPerSec/1e6, st.Workers, 100*st.WorkerUtil)
+		fmt.Printf("  job wall : p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+			st.JobMS.P50, st.JobMS.P99, st.JobMS.Max)
+	}
+	if tl := rep.Telemetry; tl != nil {
+		fmt.Printf("  runs     : %d sampled, message completion p50 %.1f us, p99 %.1f us over %d messages\n",
+			tl.Runs, tl.Completion.P50, tl.Completion.P99, tl.Completion.Count)
+		for i, p := range tl.HotPorts {
+			if i >= 3 {
+				break
+			}
+			kind := "switch"
+			if p.HostPort {
+				kind = "host"
+			}
+			fmt.Printf("  hot port : sw%d port%d (%s) peak %.1f KB queued\n", p.Switch, p.Port, kind, p.PeakKB)
+		}
+	}
+	if tr := rep.Trend; tr != nil {
+		if tr.Baseline != nil {
+			fmt.Printf("  trend    : kernel baseline %.1f ns/event (%s); sweep at %.1f%% of kernel ceiling\n",
+				tr.Baseline.NsPerEvent, tr.Baseline.GeneratedAt, tr.SweepVsKernelPct)
+		}
+		if len(tr.History) > 0 {
+			fmt.Printf("  history  : %d bench points, drift %+.1f%% ns/event\n",
+				len(tr.History), tr.HistoryDriftPct)
+		}
+	}
+	if len(rep.Tournament) > 0 {
+		var tab tournament.Table
+		if err := json.Unmarshal(rep.Tournament, &tab); err != nil {
+			return fmt.Errorf("%s: tournament payload: %w", path, err)
+		}
+		fmt.Println()
+		tournament.Print(os.Stdout, &tab)
+	}
 	return nil
 }
 

@@ -55,6 +55,7 @@ func main() {
 		ctree    = flag.Bool("ctree", false, "reconstruct the congestion trees from the event bus and print them")
 		checkInv = flag.Bool("check", false, "run under the runtime invariant checker; exit non-zero on violations")
 		faults   = flag.String("faults", "", "JSON fault plan: inject link faults and wire loss from this file")
+		telem    = flag.Bool("telemetry", false, "attach the in-sim telemetry sampler and print per-class rates, message-completion percentiles and the hottest ports")
 	)
 	flag.Parse()
 
@@ -91,8 +92,8 @@ func main() {
 	}
 
 	if *numSeeds > 1 {
-		if *events != "" || *chrome != "" || *ctree {
-			log.Fatal("-events/-chrome-trace/-ctree record a single run; use -seeds 1")
+		if *events != "" || *chrome != "" || *ctree || *telem {
+			log.Fatal("-events/-chrome-trace/-ctree/-telemetry record a single run; use -seeds 1")
 		}
 		runSeeds(s, *numSeeds, *jobs, store, *quiet, *checkInv)
 		return
@@ -107,10 +108,14 @@ func main() {
 	if *traceCSV != "" {
 		rec = inst.AttachStandardTrace(ibcc.Duration(traceInt.Nanoseconds()) * ibcc.Nanosecond)
 	}
+	var smp *ibcc.TelemetrySampler
+	if *telem {
+		smp = ibcc.NewTelemetrySampler(s.Name, 0)
+	}
 	var ob *ibcc.Observation
 	var obFiles []*os.File
-	if *events != "" || *chrome != "" || *ctree {
-		o := ibcc.ObserveOpts{Tree: *ctree}
+	if *events != "" || *chrome != "" || *ctree || *telem {
+		o := ibcc.ObserveOpts{Tree: *ctree, Telemetry: smp}
 		if *events != "" {
 			f, err := os.Create(*events)
 			if err != nil {
@@ -211,9 +216,48 @@ func main() {
 		res.Events, elapsed.Round(time.Millisecond),
 		float64(res.Events)/elapsed.Seconds()/1e6)
 	reportFaults(res.Faults)
+	reportTelemetry(smp)
 	reportCheck(ck, *quiet)
 	if *ctree {
 		ob.TreeReport().WriteTo(os.Stdout)
+	}
+}
+
+// reportTelemetry finalizes the sampler and prints its aggregates:
+// mean per-class delivered rates, message-completion percentiles, and
+// the hottest output ports by peak queue depth (nil = -telemetry off).
+func reportTelemetry(smp *ibcc.TelemetrySampler) {
+	if smp == nil {
+		return
+	}
+	smp.Finish()
+	snap := smp.Snapshot()
+	mean := func(s ibcc.TelemetrySeries) float64 {
+		if len(s.V) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, v := range s.V {
+			sum += v
+		}
+		return sum / float64(len(s.V))
+	}
+	fmt.Printf("telemetry: %.1fus cadence, %d bins; delivered hotspot %.3f / other %.3f / control %.3f Gbps (bin means)\n",
+		snap.CadenceUS, len(snap.QueuedKB.V), mean(snap.HotspotGbps), mean(snap.OtherGbps), mean(snap.ControlGbps))
+	c := snap.Completion
+	if c.Count > 0 {
+		fmt.Printf("  messages : %d completed, latency p50 %.1f / p90 %.1f / p99 %.1f us (max %.1f)\n",
+			c.Count, c.P50, c.P90, c.P99, c.Max)
+	}
+	for i, p := range snap.HotPorts {
+		if i >= 4 {
+			break
+		}
+		kind := "switch"
+		if p.HostPort {
+			kind = "host uplink"
+		}
+		fmt.Printf("  hot port : sw%d port%d (%s) peak %.1f KB queued\n", p.Switch, p.Port, kind, p.PeakKB)
 	}
 }
 

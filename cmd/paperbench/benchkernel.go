@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	ibcc "repro"
 	"repro/internal/core"
 	"repro/internal/ib"
 	"repro/internal/sim"
@@ -134,6 +136,19 @@ func runBenchKernel(path string) error {
 		return err
 	}
 
+	// Ring-buffer history alongside the artifact: the run-report trend
+	// block reads it to detect kernel drift across re-measurements.
+	histPath := filepath.Join(filepath.Dir(path), "BENCH_history.json")
+	if err := ibcc.AppendBenchHistory(histPath, ibcc.BenchPoint{
+		GeneratedAt:  rep.GeneratedAt,
+		GoVersion:    rep.GoVersion,
+		NsPerEvent:   rep.Kernel.NsPerEvent,
+		EventsPerSec: rep.Kernel.EventsPerS,
+		Speedup:      rep.SpeedupSteady,
+	}); err != nil {
+		return err
+	}
+
 	fmt.Printf("kernel : %.1f ns/event (%.2fM events/s), %.4f allocs/event — %.2fx over %s baseline\n",
 		rep.Kernel.NsPerEvent, rep.Kernel.EventsPerS/1e6, rep.Kernel.AllocsPerEvent,
 		rep.SpeedupSteady, baselineCommit)
@@ -142,7 +157,7 @@ func runBenchKernel(path string) error {
 	fmt.Printf("packets: %.0f ns/packet, %.4f allocs/packet (%d steady-window allocs over %d windows)\n",
 		rep.Lifecycle.NsPerPacket, rep.Lifecycle.AllocsPerPkt,
 		rep.Lifecycle.SteadyAllocs, rep.Lifecycle.SteadyWindows)
-	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("wrote %s (history ring: %s)\n", path, histPath)
 	return nil
 }
 

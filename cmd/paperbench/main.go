@@ -16,6 +16,9 @@
 //	paperbench -degradation deg.json -cc rcm    # the same, DCQCN-style backend in the CC-on leg
 //	paperbench -tournament tour.json -seeds 2   # backend tournament, ranked table + JSON artifact
 //	paperbench -tournament tour.json -cc ibcc,nocc  # restrict the bracket
+//	paperbench -serve :8080                     # live telemetry dashboard while the sweep runs
+//	paperbench -report run.json                 # unified run-report artifact (validate with cctinspect -report)
+//	paperbench -progress-jsonl                  # machine-readable progress lines on stderr
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -78,6 +81,10 @@ func main() {
 		tourn    = flag.String("tournament", "", "congestion-control backend tournament (backends x corpus x fault intensity): write the JSON artifact here, then exit")
 		intens   = flag.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities for -degradation / -tournament")
 		ccName   = flag.String("cc", "", "congestion control backend selection: one registry name for the simulated backend (-degradation's CC-on leg and every experiment), or a comma-separated list for -tournament's bracket (empty = default backend / all registered)")
+		serve    = flag.String("serve", "", "serve the live telemetry dashboard on this address for the duration of the run (e.g. :8080, or 127.0.0.1:0 for an ephemeral port)")
+		sprobe   = flag.Bool("serve-probe", false, "with -serve: fetch and validate /metrics.json mid-sweep and again after it (CI smoke); exit non-zero on failure")
+		report   = flag.String("report", "", "write the unified run-report JSON artifact (sweep stats, telemetry aggregates, mode payload, kernel-bench trend) to this file")
+		progJSON = flag.Bool("progress-jsonl", false, "machine-readable progress: one JSON line per completed simulation on stderr instead of the status line")
 	)
 	flag.Parse()
 
@@ -130,15 +137,21 @@ func main() {
 		workers = ibcc.WorkersAll
 	}
 
+	tel, err := newLiveTelemetry(*serve, *sprobe, *report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tel.close()
+
 	if *degrade != "" {
-		if err := runDegradation(base, *degrade, *intens, *seeds, workers, *checkInv); err != nil {
+		if err := runDegradation(base, *degrade, *intens, *seeds, workers, *checkInv, tel); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *tourn != "" {
-		if err := runTournament(base, *tourn, *intens, *seeds, workers, *checkInv, ccNames); err != nil {
+		if err := runTournament(base, *tourn, *intens, *seeds, workers, *checkInv, ccNames, tel); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -159,6 +172,8 @@ func main() {
 		tl := &tally{}
 		var prog *ibcc.Progress
 		o := ibcc.RunOpts{Workers: workers, Check: *checkInv}
+		tel.apply(&o)
+		tel.addTotal(totalSims)
 		if store != nil {
 			o.Lookup = store.Lookup
 		}
@@ -166,7 +181,10 @@ func main() {
 		if store != nil {
 			save = store.SaveResult(func(err error) { log.Print(err) })
 		}
-		if *progress {
+		switch {
+		case *progJSON:
+			prog = ibcc.NewProgressJSONL(os.Stderr, totalSims)
+		case *progress:
 			prog = ibcc.NewProgress(os.Stderr, totalSims)
 		}
 		o.OnResult = func(s ibcc.Scenario, r *ibcc.Result, cached bool) {
@@ -179,6 +197,7 @@ func main() {
 			if prog != nil {
 				prog.Observe(r.Events, cached)
 			}
+			tel.midProbe()
 		}
 		start := time.Now()
 		err := fn(o)
@@ -300,6 +319,9 @@ func main() {
 		})
 	}
 
+	if err := tel.finish(ibcc.ReportExperiments, base.Name, *radix, *seeds, nil); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("paperbench: done in %v\n", time.Since(start).Round(time.Second))
 }
 
@@ -309,77 +331,84 @@ func main() {
 // printed and written as a JSON artifact. Intensity 0 is the unfaulted
 // baseline (a zero plan is treated as absent), so the curve starts at
 // the healthy operating point.
-func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool) error {
+func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, tel *liveTelemetry) error {
 	ins, err := parseIntensities(intensities)
 	if err != nil {
 		return err
 	}
 	seedList := seedsFrom(base.Seed, seeds)
 
+	o := ibcc.RunOpts{Workers: workers, Check: checked}
+	tel.apply(&o)
+	tel.addTotal(len(ins) * len(seedList) * 2)
+	o.OnResult = func(ibcc.Scenario, *ibcc.Result, bool) { tel.midProbe() }
+
 	start := time.Now()
-	pts, err := ibcc.RunDegradationOpts(base, ins, seedList, ibcc.RunOpts{Workers: workers, Check: checked})
+	pts, err := ibcc.RunDegradationOpts(base, ins, seedList, o)
 	if err != nil {
 		return err
 	}
 	ibcc.PrintDegradation(os.Stdout, pts)
 
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(struct {
+	data, err := json.MarshalIndent(struct {
 		Scenario string                  `json:"scenario"`
 		Radix    int                     `json:"radix"`
 		Seeds    []uint64                `json:"seeds"`
 		Points   []ibcc.DegradationPoint `json:"points"`
-	}{base.Name, base.Radix, seedList, pts}); err != nil {
+	}{base.Name, base.Radix, seedList, pts}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("degradation: %d intensities x %d seeds x 2 CC legs in %v -> %s\n",
 		len(ins), seeds, time.Since(start).Round(time.Millisecond), path)
-	return nil
+	return tel.finish(ibcc.ReportDegradation, base.Name, base.Radix, seeds, data)
 }
 
 // runTournament is the backend-tournament mode: every selected backend
 // runs the scenario corpus across the fault-intensity grid, each cell
 // is scored and ranked, and the table is printed and written as a JSON
 // artifact (render it again later with cctinspect -tournament).
-func runTournament(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, backends []string) error {
+func runTournament(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, backends []string, tel *liveTelemetry) error {
 	ins, err := parseIntensities(intensities)
 	if err != nil {
 		return err
 	}
 	seedList := seedsFrom(base.Seed, seeds)
+	nBackends := len(backends)
+	if nBackends == 0 {
+		nBackends = len(ibcc.CCBackends())
+	}
+	o := ibcc.RunOpts{Workers: workers, Check: checked}
+	tel.apply(&o)
+	tel.addTotal(len(ibcc.DefaultTournamentCorpus()) * len(ins) * len(seedList) * nBackends)
+
 	start := time.Now()
 	tab, err := ibcc.RunTournament(ibcc.TournamentConfig{
 		Base:        base,
 		Backends:    backends,
 		Intensities: ins,
 		Seeds:       seedList,
-		Opts:        ibcc.RunOpts{Workers: workers, Check: checked},
+		Opts:        o,
 	})
 	if err != nil {
 		return err
 	}
 	ibcc.PrintTournament(os.Stdout, tab)
 
-	f, err := os.Create(path)
+	data, err := json.MarshalIndent(tab, "", "  ")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(tab); err != nil {
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("tournament: %d backends x %d shapes x %d intensities x %d seeds in %v -> %s\n",
 		len(tab.Backends), len(tab.Corpus), len(ins), len(seedList),
 		time.Since(start).Round(time.Millisecond), path)
-	return nil
+	return tel.finish(ibcc.ReportTournament, base.Name, base.Radix, seeds, data)
 }
 
 // parseCCNames validates the -cc flag: a comma-separated list of

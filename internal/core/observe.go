@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // ObserveOpts selects the flight-recorder consumers to attach to a
@@ -22,6 +23,9 @@ type ObserveOpts struct {
 	Counters bool
 	// CCTILog records every CCTI step for later tabulation.
 	CCTILog bool
+	// Telemetry attaches a pre-built time-series sampler (nil skips it —
+	// the sampler's own nil guard makes the wiring unconditional).
+	Telemetry *telemetry.Sampler
 }
 
 // Observation is the handle to a run's attached flight recorder. The
@@ -71,6 +75,7 @@ func (in *Instance) Observe(o ObserveOpts) *Observation {
 		ob.CCTI = obs.NewCCTILog()
 		ob.CCTI.Attach(bus)
 	}
+	o.Telemetry.Attach(bus)
 	return ob
 }
 

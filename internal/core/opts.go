@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 // Opts configures how a sweep driver executes its independent
@@ -43,6 +44,16 @@ type Opts struct {
 	// trajectories, so results stay bit-identical to an unchecked
 	// sweep.
 	Check bool
+	// Telemetry, when non-nil, attaches one in-sim time-series sampler
+	// per fresh run (cache hits have no event stream) and folds finished
+	// runs into the hub's cross-run aggregates. Samplers are pure bus
+	// consumers, so a telemetry-on sweep produces bit-identical results
+	// to a telemetry-off one.
+	Telemetry *telemetry.Hub
+	// Spans, when non-nil, records an orchestration span per run (begin
+	// on worker pickup, end with event count / cache flag / error) for
+	// the live sweep dashboard.
+	Spans *telemetry.Tracker
 }
 
 // WorkersAll requests one worker per available CPU (the pool resolves
@@ -66,8 +77,9 @@ func (o *Opts) workers() int {
 // every sweep driver.
 func runBatch(o Opts, scenarios []Scenario) ([]*Result, error) {
 	var mu sync.Mutex
-	return par.Map(o.Ctx, o.workers(), len(scenarios), func(i int) (*Result, error) {
+	return par.MapWorker(o.Ctx, o.workers(), len(scenarios), func(worker, i int) (*Result, error) {
 		s := scenarios[i]
+		span := o.Spans.Begin(s.Name, worker)
 		cached := false
 		var r *Result
 		if o.Lookup != nil {
@@ -75,18 +87,12 @@ func runBatch(o Opts, scenarios []Scenario) ([]*Result, error) {
 		}
 		if !cached {
 			var err error
-			if o.Check {
-				var rep *check.Report
-				if r, rep, err = RunChecked(s, CheckOpts{}); err == nil {
-					err = rep.Err()
-				}
-			} else {
-				r, err = Run(s)
-			}
-			if err != nil {
+			if r, err = o.runOne(s); err != nil {
+				o.Spans.End(span, 0, false, err.Error())
 				return nil, err
 			}
 		}
+		o.Spans.End(span, r.Events, cached, "")
 		if o.OnResult != nil {
 			mu.Lock()
 			o.OnResult(s, r, cached)
@@ -94,4 +100,39 @@ func runBatch(o Opts, scenarios []Scenario) ([]*Result, error) {
 		}
 		return r, nil
 	})
+}
+
+// runOne executes one fresh scenario under the sweep's instrumentation:
+// the invariant checker when Check is set, and a telemetry sampler when
+// the sweep carries a hub. With neither, it is exactly Run.
+func (o *Opts) runOne(s Scenario) (*Result, error) {
+	if o.Telemetry == nil {
+		// Preserve the historical paths byte for byte.
+		if o.Check {
+			r, rep, err := RunChecked(s, CheckOpts{})
+			if err == nil {
+				err = rep.Err()
+			}
+			return r, err
+		}
+		return Run(s)
+	}
+	in, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	smp := o.Telemetry.StartRun(s.Name)
+	smp.Attach(in.bus())
+	var ck *check.Checker
+	if o.Check {
+		ck = in.Check(CheckOpts{})
+	}
+	res := in.Execute()
+	o.Telemetry.FinishRun(smp)
+	if ck != nil {
+		if err := ck.Report().Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbSweep asserts the acceptance criterion at
+// the sweep level: a sweep with a telemetry hub and span tracker
+// attached produces bit-identical results to a bare one — the sampler
+// is a pure bus consumer, so the trajectory cannot move.
+func TestTelemetryDoesNotPerturbSweep(t *testing.T) {
+	s := quick(8)
+	seeds := []uint64{1, 2}
+	base, err := RunSeedsOpts(s, seeds, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(0)
+	tr := telemetry.NewTracker()
+	got, err := RunSeedsOpts(s, seeds, Opts{Workers: 2, Telemetry: hub, Spans: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Events.Mean() != got.Events.Mean() || base.Events.Max() != got.Events.Max() {
+		t.Fatalf("event counts changed under telemetry: %v != %v", base.Events.Mean(), got.Events.Mean())
+	}
+	if base.Total.Mean() != got.Total.Mean() || base.Hotspot.Mean() != got.Hotspot.Mean() {
+		t.Fatalf("throughput changed under telemetry: %v != %v", base.Total.Mean(), got.Total.Mean())
+	}
+
+	snap := hub.Snapshot()
+	if snap.Runs != len(seeds) || snap.Active != 0 {
+		t.Fatalf("hub folded %d runs (%d active), want %d", snap.Runs, snap.Active, len(seeds))
+	}
+	if snap.Completion.Count == 0 {
+		t.Fatal("no message completions aggregated")
+	}
+	if len(snap.HotPorts) == 0 {
+		t.Fatal("no hot ports ranked")
+	}
+	if snap.Live == nil || !snap.LiveDone {
+		t.Fatalf("idle hub should expose the last run: %+v", snap.Live)
+	}
+	if len(snap.Live.HotspotGbps.V) == 0 && len(snap.Live.OtherGbps.V) == 0 {
+		t.Fatal("live snapshot has no rate series")
+	}
+
+	st := tr.Stats()
+	if st.Done != len(seeds) || st.Failed != 0 {
+		t.Fatalf("span stats: %+v", st)
+	}
+	if st.Events == 0 {
+		t.Fatal("spans recorded no events")
+	}
+}
+
+// TestTelemetryWithCheckedTreedBatch exercises the tournament path: the
+// sampler shares the bus with the tree analyzer and invariant checker.
+func TestTelemetryWithCheckedTreedBatch(t *testing.T) {
+	s := quick(8)
+	hub := telemetry.NewHub(0)
+	tr := telemetry.NewTracker()
+	tr.SetTotal(2)
+	s2 := s
+	s2.Seed = 7
+	res, err := RunTreedBatch(Opts{Check: true, Telemetry: hub, Spans: tr}, []Scenario{s, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Trees == nil {
+		t.Fatalf("treed results: %+v", res)
+	}
+	snap := hub.Snapshot()
+	if snap.Runs != 2 {
+		t.Fatalf("hub runs = %d", snap.Runs)
+	}
+	if st := tr.Stats(); st.Done != 2 || st.Total != 2 {
+		t.Fatalf("span stats: %+v", st)
+	}
+}
+
+// TestObserveTelemetryOption covers the single-run attachment path the
+// inspection CLI uses.
+func TestObserveTelemetryOption(t *testing.T) {
+	in, err := Build(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := telemetry.NewSampler(in.Scenario.Name, 0)
+	in.Observe(ObserveOpts{Telemetry: smp})
+	in.Execute()
+	smp.Finish()
+	snap := smp.Snapshot()
+	if snap.Completion.Count == 0 {
+		t.Fatal("sampler saw no message completions")
+	}
+	if len(snap.QueuedKB.V) == 0 {
+		t.Fatal("sampler produced no queue series")
+	}
+}

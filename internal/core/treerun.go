@@ -6,6 +6,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 // TreedResult pairs a run's result with the congestion-tree report its
@@ -23,16 +24,26 @@ type TreedResult struct {
 // attached (and, when checked, under the runtime invariant checker; a
 // run with violations returns the report alongside the error).
 func RunTreed(s Scenario, checked bool) (*TreedResult, error) {
+	return runTreed(s, checked, nil)
+}
+
+// runTreed is RunTreed with an optional telemetry hub: the sampler
+// shares the run's flight-recorder bus with the tree analyzer (and the
+// checker), so one run feeds all three without extra event cost.
+func runTreed(s Scenario, checked bool, hub *telemetry.Hub) (*TreedResult, error) {
 	in, err := Build(s)
 	if err != nil {
 		return nil, err
 	}
 	ob := in.Observe(ObserveOpts{Tree: true})
+	smp := hub.StartRun(s.Name)
+	smp.Attach(in.bus())
 	var ck *check.Checker
 	if checked {
 		ck = in.Check(CheckOpts{})
 	}
 	res := in.Execute()
+	hub.FinishRun(smp)
 	tr := &TreedResult{Result: res, Trees: ob.TreeReport()}
 	if ck != nil {
 		tr.Check = ck.Report()
@@ -50,14 +61,18 @@ func RunTreed(s Scenario, checked bool) (*TreedResult, error) {
 // simulates.
 func RunTreedBatch(o Opts, scenarios []Scenario) ([]*TreedResult, error) {
 	var mu sync.Mutex
-	return par.Map(o.Ctx, o.workers(), len(scenarios), func(i int) (*TreedResult, error) {
-		tr, err := RunTreed(scenarios[i], o.Check)
+	return par.MapWorker(o.Ctx, o.workers(), len(scenarios), func(worker, i int) (*TreedResult, error) {
+		s := scenarios[i]
+		span := o.Spans.Begin(s.Name, worker)
+		tr, err := runTreed(s, o.Check, o.Telemetry)
 		if err != nil {
+			o.Spans.End(span, 0, false, err.Error())
 			return nil, err
 		}
+		o.Spans.End(span, tr.Result.Events, false, "")
 		if o.OnResult != nil {
 			mu.Lock()
-			o.OnResult(scenarios[i], tr.Result, false)
+			o.OnResult(s, tr.Result, false)
 			mu.Unlock()
 		}
 		return tr, nil

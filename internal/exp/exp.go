@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 // Job is one named, taggable simulation to run.
@@ -69,6 +70,10 @@ type Runner struct {
 	// Store, when non-nil, is consulted before each job (a hit skips
 	// the simulation) and receives every fresh result afterwards.
 	Store *Store
+	// Spans, when non-nil, records an orchestration span per job
+	// (worker id, wall time, event count, cache flag, error) for the
+	// live sweep dashboard; Run also declares the batch total on it.
+	Spans *telemetry.Tracker
 
 	// mu serializes Reporter calls from the pool goroutines.
 	mu sync.Mutex
@@ -94,8 +99,9 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 		r.Reporter.Start(total)
 		defer r.Reporter.Finish()
 	}
-	results, err := par.Map(ctx, r.Workers, total, func(i int) (JobResult, error) {
-		return r.runJob(jobs[i]), nil
+	r.Spans.SetTotal(total)
+	results, err := par.MapWorker(ctx, r.Workers, total, func(worker, i int) (JobResult, error) {
+		return r.runJob(jobs[i], worker), nil
 	})
 	if err != nil {
 		// Only cancellation can surface here (runJob never returns an
@@ -111,15 +117,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 }
 
 // runJob executes one job with cache lookup, panic recovery and
-// artifact persistence.
-func (r *Runner) runJob(job Job) JobResult {
+// artifact persistence; worker is the pool index running it.
+func (r *Runner) runJob(job Job, worker int) JobResult {
 	if job.Name == "" {
 		job.Name = job.Scenario.Name
 	}
 	res := JobResult{Job: job}
+	span := r.Spans.Begin(job.Name, worker)
 	if r.Store != nil {
 		if cached, ok := r.Store.Load(job.Scenario); ok {
 			res.Result, res.Cached = cached, true
+			r.Spans.End(span, cached.Events, true, "")
 			r.report(res)
 			return res
 		}
@@ -145,6 +153,15 @@ func (r *Runner) runJob(job Job) JobResult {
 			res.Err = fmt.Errorf("exp: job %q: artifact: %w", job.Name, err)
 		}
 	}
+	var events uint64
+	if res.Result != nil {
+		events = res.Result.Events
+	}
+	errText := ""
+	if res.Err != nil {
+		errText = res.Err.Error()
+	}
+	r.Spans.End(span, events, false, errText)
 	r.report(res)
 	return res
 }

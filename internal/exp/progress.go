@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -36,12 +37,33 @@ type Progress struct {
 	cached int
 	events uint64
 	start  time.Time
+	jsonl  bool
 }
 
 // NewProgress returns a Progress writing to w, expecting total jobs
 // (0 = unknown).
 func NewProgress(w io.Writer, total int) *Progress {
 	return &Progress{w: w, total: total, start: time.Now()}
+}
+
+// NewProgressJSONL returns a Progress in machine-readable mode: instead
+// of rewriting one ANSI status line, every completed job appends a full
+// JSON line, so a wrapper process (CI, a notebook, a supervisor) can
+// track a sweep without terminal scraping.
+func NewProgressJSONL(w io.Writer, total int) *Progress {
+	return &Progress{w: w, total: total, start: time.Now(), jsonl: true}
+}
+
+// progressLine is the JSONL-mode record, one per completed job.
+type progressLine struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total,omitempty"`
+	Failed    int     `json:"failed,omitempty"`
+	Cached    int     `json:"cached,omitempty"`
+	Events    uint64  `json:"events"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	MEPS      float64 `json:"meps"`
+	ETAMS     float64 `json:"eta_ms,omitempty"`
 }
 
 // Start implements Reporter; it (re)arms the clock and total.
@@ -90,19 +112,34 @@ func (p *Progress) Events() uint64 {
 	return p.events
 }
 
-// Finish implements Reporter: it terminates the status line.
+// Finish implements Reporter: it terminates the status line (JSONL
+// lines are already complete).
 func (p *Progress) Finish() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.done > 0 {
+	if p.done > 0 && !p.jsonl {
 		fmt.Fprintln(p.w)
 	}
 }
 
-// line rewrites the status line; the caller holds p.mu.
+// line emits one progress update; the caller holds p.mu.
 func (p *Progress) line() {
 	elapsed := time.Since(p.start)
 	rate := float64(p.events) / elapsed.Seconds() / 1e6
+	if p.jsonl {
+		rec := progressLine{
+			Done: p.done, Total: p.total, Failed: p.failed, Cached: p.cached,
+			Events: p.events, ElapsedMS: elapsed.Seconds() * 1e3, MEPS: rate,
+		}
+		if p.total > 0 && p.done > 0 && p.done < p.total {
+			rec.ETAMS = elapsed.Seconds() * 1e3 / float64(p.done) * float64(p.total-p.done)
+		}
+		data, err := json.Marshal(&rec)
+		if err == nil {
+			fmt.Fprintf(p.w, "%s\n", data)
+		}
+		return
+	}
 	fmt.Fprintf(p.w, "\r\x1b[K%s", p.status(elapsed, rate))
 }
 

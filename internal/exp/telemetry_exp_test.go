@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestRunnerSpansTracker wires a span tracker into a stubbed Runner and
+// checks the aggregated sweep stats: totals, cache hits, failures and
+// event counts all flow from runJob into the tracker.
+func TestRunnerSpansTracker(t *testing.T) {
+	tr := telemetry.NewTracker()
+	r := fakeRun(3, func(s core.Scenario) (*core.Result, error) {
+		if s.Seed == 3 {
+			return nil, errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return &core.Result{Name: s.Name, Events: 100 * s.Seed}, nil
+	})
+	r.Spans = tr
+	js := jobs(6)
+	results, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d results", len(results))
+	}
+	st := tr.Stats()
+	if st.Total != 6 || st.Done+st.Failed != 6 {
+		t.Fatalf("stats totals: %+v", st)
+	}
+	if st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1 (seed-3 job errors)", st.Failed)
+	}
+	// 100*(1+2+4+5+6) from the five successful jobs.
+	if want := uint64(100 * (1 + 2 + 4 + 5 + 6)); st.Events != want {
+		t.Fatalf("events = %d, want %d", st.Events, want)
+	}
+	if st.Active != 0 || len(st.ActiveJobs) != 0 {
+		t.Fatalf("active spans leaked: %+v", st)
+	}
+	if st.JobMS.Count != 6 {
+		t.Fatalf("job histogram count = %d", st.JobMS.Count)
+	}
+	if st.Workers < 1 || st.Workers > 3 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+	if len(st.Recent) != 6 {
+		t.Fatalf("recent ring holds %d spans", len(st.Recent))
+	}
+	var failed *telemetry.JobSpan
+	for i := range st.Recent {
+		if st.Recent[i].Err != "" {
+			failed = &st.Recent[i]
+		}
+	}
+	if failed == nil || !strings.Contains(failed.Err, "boom") {
+		t.Fatalf("failed span not recorded: %+v", st.Recent)
+	}
+}
+
+// TestRunnerSpansCacheHit checks the cache-hit path marks spans cached
+// and still credits their event counts.
+func TestRunnerSpansCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		runs++
+		return &core.Result{Name: s.Name, Events: 42}, nil
+	})
+	r.Store = store
+	js := jobs(2)
+	if _, err := r.Run(context.Background(), js); err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracker()
+	r.Spans = tr
+	if _, err := r.Run(context.Background(), js); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("runFn ran %d times, want 2 (second batch fully cached)", runs)
+	}
+	st := tr.Stats()
+	if st.Cached != 2 || st.Done != 2 {
+		t.Fatalf("cached stats: %+v", st)
+	}
+	if st.Events != 84 {
+		t.Fatalf("cached events = %d, want 84", st.Events)
+	}
+}
+
+// TestProgressJSONL checks the machine-readable progress mode: one
+// parseable JSON object per completed job with the documented fields,
+// and no trailing ANSI status line.
+func TestProgressJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressJSONL(&buf, 3)
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		return &core.Result{Name: s.Name, Events: 10}, nil
+	})
+	r.Reporter = p
+	if _, err := r.Run(context.Background(), jobs(3)); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(buf.String(), "\n")
+	if strings.Contains(out, "\r") || strings.Contains(out, "\x1b") {
+		t.Fatalf("JSONL output contains terminal control codes: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3: %q", len(lines), out)
+	}
+	for i, line := range lines {
+		var rec struct {
+			Done      int     `json:"done"`
+			Total     int     `json:"total"`
+			Events    uint64  `json:"events"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+			MEPS      float64 `json:"meps"`
+			ETAMS     float64 `json:"eta_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v: %q", i, err, line)
+		}
+		if rec.Done != i+1 || rec.Total != 3 {
+			t.Fatalf("line %d progress %d/%d", i, rec.Done, rec.Total)
+		}
+		if rec.Events != uint64(10*(i+1)) {
+			t.Fatalf("line %d events = %d", i, rec.Events)
+		}
+		if rec.ElapsedMS < 0 || rec.MEPS < 0 {
+			t.Fatalf("line %d negative rates: %+v", i, rec)
+		}
+		if i < 2 && rec.ETAMS < 0 {
+			t.Fatalf("line %d negative ETA", i)
+		}
+		if i == 2 && rec.ETAMS != 0 {
+			t.Fatalf("final line carries an ETA: %+v", rec)
+		}
+	}
+}

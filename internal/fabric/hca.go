@@ -272,6 +272,7 @@ func (h *HCA) delivered(p *ib.Packet) {
 		h.ctr.RxAck++
 	}
 	h.net.bus.PacketDelivered(h.net.simr.Now(), h.lid, p)
+	h.net.bus.MsgCompleted(h.net.simr.Now(), h.lid, p)
 	if h.net.hooks.Deliver != nil {
 		h.net.hooks.Deliver(h.lid, p)
 	}

@@ -21,6 +21,10 @@ func emitAllKinds(b *Bus) {
 	b.LinkUp(10000, true, 3, 4)
 	b.PacketDropped(11000, true, 3, 4, p, 0, p.WireBytes())
 	b.PacketDropped(12000, true, 3, 4, nil, 1, 2094) // lost credit update
+	last := pkt(1, 2)
+	last.MsgID, last.MsgSeq, last.MsgPackets = 5, 0, 1
+	last.InjectTime = 12500
+	b.MsgCompleted(13000, 2, last)
 }
 
 // TestChromeTraceValid checks the exporter structurally: the output is
@@ -149,10 +153,10 @@ func TestJSONLWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != 12 {
-		t.Fatalf("lines = %d, want 12:\n%s", len(lines), sb.String())
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d, want 13:\n%s", len(lines), sb.String())
 	}
-	if w.Events() != 12 {
+	if w.Events() != 13 {
 		t.Fatalf("Events() = %d", w.Events())
 	}
 	kinds := map[string]bool{}

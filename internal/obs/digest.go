@@ -39,8 +39,20 @@ func digestBool(b bool) uint64 {
 	return 0
 }
 
+// digestKindLimit pins the digested kind set: kinds at or beyond it are
+// excluded from the fingerprint. The limit sits where the taxonomy stood
+// when the golden trajectories were recorded (the first ten kinds), so
+// later, derived telemetry kinds — msg_completed and anything appended
+// after it — can be published without invalidating every committed
+// digest. The underlying packet trajectory those kinds are derived from
+// is still fully covered by the digested kinds.
+const digestKindLimit = KindMsgCompleted
+
 // Consume implements Consumer.
 func (d *Digest) Consume(e Event) {
+	if e.Kind >= digestKindLimit {
+		return
+	}
 	d.n++
 	d.hash8(uint64(e.Kind))
 	d.hash8(digestBool(e.Switch) | digestBool(e.Hotspot)<<1 | digestBool(e.HostPort)<<2 | digestBool(e.FECN)<<3 | digestBool(e.BECN)<<4)

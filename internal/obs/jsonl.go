@@ -43,6 +43,11 @@ type eventJSON struct {
 	CreditBytes int    `json:"credits,omitempty"`
 	OldCCTI     uint16 `json:"ccti_old,omitempty"`
 	NewCCTI     uint16 `json:"ccti_new,omitempty"`
+
+	MsgID uint64 `json:"msg,omitempty"`
+	// LatUS is the packet's network latency (delivery time minus source
+	// injection), on delivery-scoped kinds.
+	LatUS float64 `json:"lat_us,omitempty"`
 }
 
 // NewJSONLWriter returns a writer streaming to w.
@@ -81,8 +86,17 @@ func (j *JSONLWriter) Consume(e Event) {
 	}
 	// The packet type is meaningful only on packet-scoped events.
 	switch e.Kind {
-	case KindPacketSent, KindPacketDelivered, KindFECNMarked, KindBECNReturned:
+	case KindPacketSent, KindFECNMarked, KindBECNReturned:
 		rec.PktType = e.Type.String()
+	case KindPacketDelivered:
+		rec.PktType = e.Type.String()
+		if e.Type == ib.DataPacket {
+			rec.LatUS = e.Time.Sub(e.Inject).Seconds() * 1e6
+		}
+	case KindMsgCompleted:
+		rec.PktType = e.Type.String()
+		rec.MsgID = e.MsgID
+		rec.LatUS = e.Time.Sub(e.Inject).Seconds() * 1e6
 	case KindPacketDropped:
 		if e.PktID > 0 {
 			rec.PktType = e.Type.String()

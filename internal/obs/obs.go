@@ -53,10 +53,19 @@ const (
 	// the end of its wire flight (PktID > 0, full packet identity) or a
 	// flow-control credit update (PktID 0, CreditBytes = lost credit).
 	KindPacketDropped
+	// KindMsgCompleted fires when a host sink consumes the final packet
+	// of an application message — the per-message completion signal the
+	// telemetry layer feeds its completion-time histogram from. The
+	// event carries the last packet's identity; Time − Inject is that
+	// packet's network latency, and the message's own span starts at
+	// the Inject of its MsgSeq-0 packet.
+	KindMsgCompleted
 
-	// NumKinds is the number of event kinds. The fault kinds above sit
-	// after the original seven so that unfaulted event streams keep
-	// their recorded digests.
+	// NumKinds is the number of event kinds. Kinds are strictly
+	// appended (the fault kinds after the original seven, the telemetry
+	// kinds after those) so that recorded streams of the earlier kinds
+	// keep their digests; obs.Digest additionally excludes kinds beyond
+	// digestKindLimit, pinning the golden trajectories for good.
 	NumKinds
 )
 
@@ -82,6 +91,8 @@ func (k Kind) String() string {
 		return "link_up"
 	case KindPacketDropped:
 		return "packet_dropped"
+	case KindMsgCompleted:
+		return "msg_completed"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -127,6 +138,14 @@ type Event struct {
 
 	// OldCCTI and NewCCTI bracket a KindCCTIChanged step.
 	OldCCTI, NewCCTI uint16
+
+	// Inject is when the packet's first byte entered the source HCA
+	// port (packet-scoped kinds); Time − Inject is its network latency.
+	Inject sim.Time
+	// MsgID, MsgSeq and MsgPackets identify the packet's position in
+	// its application message (packet-scoped kinds).
+	MsgID              uint64
+	MsgSeq, MsgPackets uint8
 }
 
 // Flow returns the event's flow identity.
@@ -190,6 +209,8 @@ func (e *Event) packet(p *ib.Packet) {
 	e.Bytes = p.WireBytes()
 	e.FECN, e.BECN = p.FECN, p.BECN
 	e.Hotspot = p.Hotspot
+	e.Inject = p.InjectTime
+	e.MsgID, e.MsgSeq, e.MsgPackets = p.MsgID, p.MsgSeq, p.MsgPackets
 }
 
 // PacketSent publishes a wire transmission at (node, port); sw selects
@@ -299,6 +320,22 @@ func (b *Bus) PacketDropped(t sim.Time, sw bool, node, port int, p *ib.Packet, v
 	} else {
 		e.VL, e.Bytes, e.CreditBytes = vl, bytes, bytes
 	}
+	b.Publish(e)
+}
+
+// MsgCompleted publishes the delivery of an application message's final
+// packet at host lid. The message-boundary test lives here, after the
+// mask gate, so an unobserved run pays only the standard disabled-bus
+// check at the delivery site.
+func (b *Bus) MsgCompleted(t sim.Time, lid ib.LID, p *ib.Packet) {
+	if b == nil || b.mask&(1<<KindMsgCompleted) == 0 {
+		return
+	}
+	if p.Type != ib.DataPacket || p.MsgSeq+1 != p.MsgPackets {
+		return
+	}
+	e := Event{Kind: KindMsgCompleted, Time: t, Node: int(lid)}
+	e.packet(p)
 	b.Publish(e)
 }
 

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// legacyKindEvent builds one fully populated event of kind k, with every
+// field derived from the kind and a salt so that any change to the
+// digested field list or byte packing moves the pinned digest below.
+func legacyKindEvent(k Kind, salt int) Event {
+	return Event{
+		Kind:        k,
+		Switch:      salt%2 == 0,
+		Hotspot:     salt%3 == 0,
+		HostPort:    salt%5 == 0,
+		FECN:        salt%2 == 1,
+		BECN:        salt%7 == 0,
+		Type:        ib.PacketType(salt % 3),
+		VL:          ib.VL(salt % 2),
+		Time:        sim.Time(1000*int64(k) + int64(salt)),
+		Node:        int(k)*7 + salt,
+		Port:        salt % 4,
+		PktID:       uint64(k)<<32 | uint64(salt),
+		Src:         ib.LID(salt),
+		Dst:         ib.LID(salt + 1),
+		Bytes:       2048 + salt,
+		QueuedBytes: 4096 * salt,
+		CreditBytes: 128 * salt,
+		OldCCTI:     uint16(salt),
+		NewCCTI:     uint16(salt + 1),
+		// Fields beyond the digest limit: present so the test fails if
+		// they ever leak into the legacy fingerprint.
+		Inject:     sim.Time(42 * int64(salt)),
+		MsgID:      uint64(salt) * 13,
+		MsgSeq:     uint8(salt % 4),
+		MsgPackets: 4,
+	}
+}
+
+// TestDigestFieldListPinned pins the digest of a synthetic stream
+// covering every pre-telemetry kind. The constant was recorded when the
+// telemetry kinds were introduced; it must never change, because every
+// committed golden trajectory (internal/core/testdata) and every stored
+// KernelSignature depends on the exact field list and byte packing of
+// these ten kinds. New Event fields and new kinds are fine — hashing
+// them here is not.
+func TestDigestFieldListPinned(t *testing.T) {
+	const pinned = "857a64672999a0e5"
+	d := NewDigest()
+	for k := Kind(0); k < digestKindLimit; k++ {
+		for salt := 0; salt < 3; salt++ {
+			d.Consume(legacyKindEvent(k, salt))
+		}
+	}
+	if got := d.Sum(); got != pinned {
+		t.Fatalf("legacy-kind digest changed: got %s, pinned %s — the obs.Digest field list for existing kinds must stay frozen", got, pinned)
+	}
+	if want := uint64(digestKindLimit) * 3; d.Records() != want {
+		t.Fatalf("records = %d, want %d", d.Records(), want)
+	}
+}
+
+// TestDigestExcludesTelemetryKinds asserts that interleaving telemetry
+// kinds into a stream leaves the digest and record count untouched: a
+// telemetry-observed run fingerprints identically to an unobserved one.
+func TestDigestExcludesTelemetryKinds(t *testing.T) {
+	plain, mixed := NewDigest(), NewDigest()
+	for salt := 0; salt < 8; salt++ {
+		e := legacyKindEvent(KindPacketDelivered, salt)
+		plain.Consume(e)
+		mixed.Consume(e)
+		mc := legacyKindEvent(KindMsgCompleted, salt)
+		mixed.Consume(mc)
+	}
+	if plain.Sum() != mixed.Sum() {
+		t.Fatalf("msg_completed events changed the digest: %s vs %s", plain.Sum(), mixed.Sum())
+	}
+	if plain.Records() != mixed.Records() {
+		t.Fatalf("msg_completed events changed the record count: %d vs %d", plain.Records(), mixed.Records())
+	}
+	if digestKindLimit != 10 {
+		t.Fatalf("digestKindLimit = %d, want 10: the digested kind set is pinned to the pre-telemetry taxonomy", digestKindLimit)
+	}
+}
+
+// TestMsgCompletedPublish exercises the message-boundary gate of the
+// MsgCompleted helper: only the final data packet of a message
+// publishes, and the event carries the message identity fields.
+func TestMsgCompletedPublish(t *testing.T) {
+	b := New()
+	var got []Event
+	b.Subscribe(ConsumerFunc(func(e Event) { got = append(got, e) }), KindMsgCompleted)
+
+	p := &ib.Packet{
+		ID: 7, Type: ib.DataPacket, Src: 3, Dst: 9, PayloadBytes: ib.MTU,
+		MsgID: 41, MsgSeq: 0, MsgPackets: 2, InjectTime: sim.Time(100),
+	}
+	b.MsgCompleted(sim.Time(500), 9, p) // not the final packet
+	if len(got) != 0 {
+		t.Fatalf("non-final packet published a completion")
+	}
+	p.MsgSeq = 1
+	b.MsgCompleted(sim.Time(900), 9, p)
+	if len(got) != 1 {
+		t.Fatalf("final packet published %d events, want 1", len(got))
+	}
+	e := got[0]
+	if e.Kind != KindMsgCompleted || e.Node != 9 || e.MsgID != 41 ||
+		e.MsgSeq != 1 || e.MsgPackets != 2 || e.Inject != sim.Time(100) {
+		t.Fatalf("completion event fields wrong: %+v", e)
+	}
+
+	cnp := &ib.Packet{Type: ib.CNPPacket, MsgSeq: 0, MsgPackets: 1}
+	b.MsgCompleted(sim.Time(1000), 9, cnp)
+	if len(got) != 1 {
+		t.Fatalf("control packet published a completion")
+	}
+
+	var nilBus *Bus
+	nilBus.MsgCompleted(sim.Time(1), 0, p) // must not panic
+}

@@ -57,6 +57,15 @@ func Workers(workers, n int) int {
 // cancellation likewise stops dispatch, and ctx.Err() is returned if no
 // task error outranks it.
 func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([]T, error) {
+	return MapWorker(ctx, workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the executing worker's pool index (0..workers-1)
+// exposed to the task — the hook the telemetry span tracker uses to
+// attribute jobs to workers. Determinism is unaffected: the worker index
+// labels execution, results still return in submission order. The serial
+// path runs everything as worker 0.
+func MapWorker[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -73,7 +82,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i], errs[i] = protect(i, fn)
+			out[i], errs[i] = protect(0, i, fn)
 			if errs[i] != nil {
 				return out, errs[i]
 			}
@@ -99,17 +108,17 @@ func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([
 	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
 				var err error
-				out[i], err = protect(i, fn)
+				out[i], err = protect(worker, i, fn)
 				if err != nil {
 					errs[i] = err
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -124,12 +133,12 @@ func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([
 	return out, nil
 }
 
-// protect runs fn(i), converting a panic into a *PanicError.
-func protect[T any](i int, fn func(int) (T, error)) (out T, err error) {
+// protect runs fn(worker, i), converting a panic into a *PanicError.
+func protect[T any](worker, i int, fn func(int, int) (T, error)) (out T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
-	return fn(i)
+	return fn(worker, i)
 }

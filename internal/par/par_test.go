@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -150,5 +151,52 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if w := Workers(-1, 1); w != 1 {
 		t.Fatalf("Workers(-1,1) = %d", w)
+	}
+}
+
+func TestMapWorkerIndices(t *testing.T) {
+	// Pool path: every callback sees a worker index in [0, workers),
+	// and with enough slow jobs every worker index shows up.
+	const workers, n = 4, 32
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	_, err := MapWorker(context.Background(), workers, n, func(worker, i int) (int, error) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("job %d: worker %d out of [0,%d)", i, worker, workers)
+		}
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		seen[worker] = true
+		mu.Unlock()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != workers {
+		t.Fatalf("saw workers %v, want all %d", seen, workers)
+	}
+
+	// Serial path: everything runs on worker 0.
+	_, err = MapWorker(context.Background(), 1, 8, func(worker, i int) (int, error) {
+		if worker != 0 {
+			t.Errorf("serial job %d on worker %d", i, worker)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapDelegatesToMapWorker(t *testing.T) {
+	out, err := Map(context.Background(), 3, 10, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistIndexUpperRoundTrip asserts every bucket's upper bound maps
+// back into that bucket, and that consecutive values never map to an
+// earlier bucket.
+func TestHistIndexUpperRoundTrip(t *testing.T) {
+	// Buckets past histIndex(MaxInt64) are unreachable: no int64 value
+	// maps to them.
+	maxIdx := histIndex(math.MaxInt64)
+	for idx := 0; idx <= maxIdx; idx++ {
+		u := histUpper(idx)
+		if got := histIndex(u); got != idx {
+			t.Fatalf("histIndex(histUpper(%d)) = %d (upper %d)", idx, got, u)
+		}
+	}
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 17 {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if u := histUpper(idx); u < v {
+			t.Fatalf("histUpper(%d) = %d < value %d", idx, u, v)
+		}
+	}
+}
+
+// TestHistQuantileErrorBound reconstructs p50/p90/p99 from known value
+// distributions and asserts the log-linear error bound: the reported
+// quantile is an upper bound within 2^-histSubBits (6.25%) of the true
+// order statistic.
+func TestHistQuantileErrorBound(t *testing.T) {
+	distributions := map[string]func(i int) int64{
+		"uniform":   func(i int) int64 { return int64(i + 1) },
+		"geometric": func(i int) int64 { return int64(1) << uint(i%30) },
+		"bimodal": func(i int) int64 {
+			if i%2 == 0 {
+				return int64(1000 + i)
+			}
+			return int64(1_000_000 + i)
+		},
+		"heavy-tail": func(i int) int64 {
+			v := float64(i+1) / 10000.0
+			return int64(800 * math.Exp(5*v))
+		},
+	}
+	const n = 10000
+	for name, gen := range distributions {
+		var h Hist
+		vals := make([]int64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = gen(i)
+			h.Record(vals[i])
+		}
+		// Exact order statistics by counting sort over the sorted copy.
+		sorted := append([]int64(nil), vals...)
+		for i := 1; i < len(sorted); i++ { // insertion sort is fine at this size
+			for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+				sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+			}
+		}
+		for _, q := range []float64{0.50, 0.90, 0.99} {
+			rank := int(q*float64(n)) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := sorted[rank]
+			got := h.Quantile(q)
+			if got < exact {
+				t.Errorf("%s p%.0f: reported %d below exact %d", name, q*100, got, exact)
+			}
+			bound := float64(exact) * (1 + 1.0/float64(histSubBuckets))
+			if float64(got) > bound+1 {
+				t.Errorf("%s p%.0f: reported %d exceeds error bound %.0f (exact %d)", name, q*100, got, bound, exact)
+			}
+		}
+		if h.Count() != n {
+			t.Fatalf("%s: count = %d", name, h.Count())
+		}
+	}
+}
+
+func TestHistMergeAndStats(t *testing.T) {
+	var a, b Hist
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 200 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	if m := a.Mean(); m < 95 || m > 106 {
+		t.Fatalf("merged mean = %d, want ~100.5", m)
+	}
+	if q := a.Quantile(1.0); q != 200 {
+		t.Fatalf("p100 = %d, want clamped to max 200", q)
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatalf("empty hist stats not zero")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatalf("reset did not clear")
+	}
+}
+
+func TestHistNegativeClamps(t *testing.T) {
+	var h Hist
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative value not clamped: count=%d max=%d", h.Count(), h.Max())
+	}
+}

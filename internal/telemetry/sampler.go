@@ -1,0 +1,365 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DefaultCadence is the sampling bin width: event timestamps are bucketed
+// into bins of this simulated width and each completed bin becomes one
+// time-series point. 10 µs resolves the paper's congestion transients
+// (CCTI ramps play out over hundreds of microseconds) while a millisecond
+// of simulated time costs only 100 points.
+const DefaultCadence = 10 * sim.Microsecond
+
+// Traffic classes for the delivered-rate series.
+const (
+	classHotspot = iota // data payload addressed to the hotspot victim
+	classOther          // all other data payload
+	classControl        // CNP + ACK wire bytes
+	numClasses
+)
+
+// hotPortsTopK bounds the hottest-ports table in snapshots.
+const hotPortsTopK = 8
+
+type portVL struct {
+	sw, port int
+	vl       ib.VL
+}
+
+type portID struct {
+	sw, port int
+}
+
+type msgKey struct {
+	src ib.LID
+	id  uint64
+}
+
+// HotPort is one row of the hottest-ports table: a switch output port
+// ranked by its peak queued bytes over the run.
+type HotPort struct {
+	Switch   int     `json:"switch"`
+	Port     int     `json:"port"`
+	HostPort bool    `json:"host_port"`
+	PeakKB   float64 `json:"peak_kb"`
+}
+
+// SamplerSnapshot is the JSON view of one run's live time series.
+type SamplerSnapshot struct {
+	Name      string  `json:"name"`
+	CadenceUS float64 `json:"cadence_us"`
+	NowUS     float64 `json:"now_us"`
+
+	// Delivered goodput per traffic class, Gbit/s per bin.
+	HotspotGbps Series `json:"hotspot_gbps"`
+	OtherGbps   Series `json:"other_gbps"`
+	ControlGbps Series `json:"control_gbps"`
+
+	// Fabric occupancy at each bin boundary.
+	QueuedKB  Series `json:"queued_kb"`
+	MaxPortKB Series `json:"max_port_kb"`
+
+	// Congestion-control state at each bin boundary.
+	Throttled Series `json:"throttled"`
+	MaxCCTI   Series `json:"max_ccti"`
+
+	// Fault-layer activity per bin.
+	Drops  Series `json:"drops"`
+	Stalls Series `json:"stalls"`
+
+	LinksDown int `json:"links_down"`
+
+	// Completion is the per-message completion-time histogram summary in
+	// microseconds (first packet injected → last packet delivered).
+	Completion HistSnapshot `json:"completion"`
+
+	HotPorts []HotPort `json:"hot_ports"`
+}
+
+// Sampler turns one run's event stream into fixed-cadence time series.
+// It is a pure bus consumer: attaching it never schedules a simulation
+// event, so the observed trajectory is byte-identical to the unobserved
+// one. Consume runs on the simulation goroutine; Snapshot may be called
+// concurrently from the HTTP server, so both take the mutex.
+type Sampler struct {
+	mu      sync.Mutex
+	name    string
+	cadence sim.Duration
+
+	// Per-bin accumulators, flushed when an event crosses a bin boundary.
+	curBin     int64
+	binStarted bool
+	binBytes   [numClasses]int64
+	binDrops   int
+	binStalls  int
+
+	rates     [numClasses]Ring
+	queued    Ring
+	maxPort   Ring
+	throttled Ring
+	maxCCTI   Ring
+	drops     Ring
+	stalls    Ring
+
+	// Continuous state read at each bin boundary.
+	vlDepth   map[portVL]int
+	portDepth map[portID]int
+	portPeak  map[portID]int
+	portHost  map[portID]bool
+	ccti      map[ib.FlowKey]uint16
+	linksDown int
+
+	// Message spans: first-packet injection time by (source, message id),
+	// recorded when the MsgSeq-0 packet is delivered.
+	msgStart   map[msgKey]sim.Time
+	completion Hist
+
+	lastTime sim.Time
+}
+
+// NewSampler returns a sampler for one run; cadence <= 0 selects
+// DefaultCadence.
+func NewSampler(name string, cadence sim.Duration) *Sampler {
+	if cadence <= 0 {
+		cadence = DefaultCadence
+	}
+	return &Sampler{
+		name:      name,
+		cadence:   cadence,
+		curBin:    -1,
+		vlDepth:   make(map[portVL]int),
+		portDepth: make(map[portID]int),
+		portPeak:  make(map[portID]int),
+		portHost:  make(map[portID]bool),
+		ccti:      make(map[ib.FlowKey]uint16),
+		msgStart:  make(map[msgKey]sim.Time),
+	}
+}
+
+// Attach subscribes the sampler to the kinds it derives series from. A
+// nil sampler (telemetry off) attaches nothing, so call sites stay a
+// single unconditional line.
+func (s *Sampler) Attach(b *obs.Bus) {
+	if s == nil {
+		return
+	}
+	b.Subscribe(s,
+		obs.KindPacketDelivered, obs.KindQueueSampled, obs.KindCCTIChanged,
+		obs.KindCreditStalled, obs.KindLinkDown, obs.KindLinkUp,
+		obs.KindPacketDropped, obs.KindMsgCompleted,
+	)
+}
+
+// Consume implements obs.Consumer.
+func (s *Sampler) Consume(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(e.Time)
+	switch e.Kind {
+	case obs.KindPacketDelivered:
+		s.delivered(e)
+	case obs.KindQueueSampled:
+		s.queueSampled(e)
+	case obs.KindCCTIChanged:
+		s.ccti[e.Flow()] = e.NewCCTI
+	case obs.KindCreditStalled:
+		s.binStalls++
+	case obs.KindLinkDown:
+		s.linksDown++
+	case obs.KindLinkUp:
+		if s.linksDown > 0 {
+			s.linksDown--
+		}
+	case obs.KindPacketDropped:
+		s.binDrops++
+	case obs.KindMsgCompleted:
+		s.msgCompleted(e)
+	}
+}
+
+func (s *Sampler) delivered(e obs.Event) {
+	switch e.Type {
+	case ib.DataPacket:
+		// Track payload, the goodput the paper's throughput plots use.
+		payload := e.Bytes - ib.HeaderBytes
+		if e.Hotspot {
+			s.binBytes[classHotspot] += int64(payload)
+		} else {
+			s.binBytes[classOther] += int64(payload)
+		}
+		if e.MsgSeq == 0 {
+			s.msgStart[msgKey{e.Src, e.MsgID}] = e.Inject
+		}
+	default:
+		s.binBytes[classControl] += int64(e.Bytes)
+	}
+}
+
+func (s *Sampler) queueSampled(e obs.Event) {
+	k := portVL{e.Node, e.Port, e.VL}
+	p := portID{e.Node, e.Port}
+	old := s.vlDepth[k]
+	s.vlDepth[k] = e.QueuedBytes
+	d := s.portDepth[p] + e.QueuedBytes - old
+	s.portDepth[p] = d
+	if d > s.portPeak[p] {
+		s.portPeak[p] = d
+		s.portHost[p] = e.HostPort
+	}
+}
+
+func (s *Sampler) msgCompleted(e obs.Event) {
+	k := msgKey{e.Src, e.MsgID}
+	start, ok := s.msgStart[k]
+	if !ok {
+		// Single-tracked fallback: the final packet's own injection time
+		// (exact for one-packet messages, a lower bound otherwise).
+		start = e.Inject
+	} else {
+		delete(s.msgStart, k)
+	}
+	s.completion.Record(int64(e.Time.Sub(start)))
+}
+
+// advance flushes the current bin when t has crossed its boundary.
+func (s *Sampler) advance(t sim.Time) {
+	if t > s.lastTime {
+		s.lastTime = t
+	}
+	bin := int64(t) / int64(s.cadence)
+	if s.curBin < 0 {
+		s.curBin = bin
+		return
+	}
+	if bin > s.curBin {
+		s.flushBin()
+		s.curBin = bin
+	}
+}
+
+// flushBin turns the accumulated bin into one point per series, stamped
+// at the bin's end.
+func (s *Sampler) flushBin() {
+	endUS := float64(s.curBin+1) * sim.Duration(s.cadence).Seconds() * 1e6
+	binSec := sim.Duration(s.cadence).Seconds()
+	for c := 0; c < numClasses; c++ {
+		s.rates[c].Push(endUS, float64(s.binBytes[c])*8/binSec/1e9)
+		s.binBytes[c] = 0
+	}
+	s.drops.Push(endUS, float64(s.binDrops))
+	s.stalls.Push(endUS, float64(s.binStalls))
+	s.binDrops, s.binStalls = 0, 0
+
+	var total, maxP int
+	for _, d := range s.portDepth {
+		total += d
+		if d > maxP {
+			maxP = d
+		}
+	}
+	s.queued.Push(endUS, float64(total)/1024)
+	s.maxPort.Push(endUS, float64(maxP)/1024)
+
+	var nThrottled int
+	var maxCCTI uint16
+	for _, c := range s.ccti {
+		if c > 0 {
+			nThrottled++
+		}
+		if c > maxCCTI {
+			maxCCTI = c
+		}
+	}
+	s.throttled.Push(endUS, float64(nThrottled))
+	s.maxCCTI.Push(endUS, float64(maxCCTI))
+}
+
+// Finish flushes the final partial bin. Call it once when the run ends;
+// a nil sampler is a no-op.
+func (s *Sampler) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curBin >= 0 {
+		s.flushBin()
+		s.curBin = -1
+	}
+}
+
+// Completion returns a summary of the completion-time histogram in
+// microseconds.
+func (s *Sampler) Completion() HistSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completion.snapshot(1e-6)
+}
+
+// mergeInto folds the sampler's cross-run aggregates (completion
+// histogram, port peaks) into the hub's accumulators. Caller holds no
+// lock on s.
+func (s *Sampler) mergeInto(h *Hist, peaks map[portID]int, hosts map[portID]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.Merge(&s.completion)
+	for p, d := range s.portPeak {
+		if d > peaks[p] {
+			peaks[p] = d
+			hosts[p] = s.portHost[p]
+		}
+	}
+}
+
+func hotPorts(peaks map[portID]int, hosts map[portID]bool) []HotPort {
+	hp := make([]HotPort, 0, len(peaks))
+	for p, d := range peaks {
+		hp = append(hp, HotPort{Switch: p.sw, Port: p.port, HostPort: hosts[p], PeakKB: float64(d) / 1024})
+	}
+	sort.Slice(hp, func(i, j int) bool {
+		if hp[i].PeakKB != hp[j].PeakKB {
+			return hp[i].PeakKB > hp[j].PeakKB
+		}
+		if hp[i].Switch != hp[j].Switch {
+			return hp[i].Switch < hp[j].Switch
+		}
+		return hp[i].Port < hp[j].Port
+	})
+	if len(hp) > hotPortsTopK {
+		hp = hp[:hotPortsTopK]
+	}
+	return hp
+}
+
+// Snapshot copies the current series out for serving. It is safe to call
+// while the run is still consuming events.
+func (s *Sampler) Snapshot() SamplerSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SamplerSnapshot{
+		Name:        s.name,
+		CadenceUS:   sim.Duration(s.cadence).Seconds() * 1e6,
+		NowUS:       s.lastTime.Seconds() * 1e6,
+		HotspotGbps: s.rates[classHotspot].Snapshot(),
+		OtherGbps:   s.rates[classOther].Snapshot(),
+		ControlGbps: s.rates[classControl].Snapshot(),
+		QueuedKB:    s.queued.Snapshot(),
+		MaxPortKB:   s.maxPort.Snapshot(),
+		Throttled:   s.throttled.Snapshot(),
+		MaxCCTI:     s.maxCCTI.Snapshot(),
+		Drops:       s.drops.Snapshot(),
+		Stalls:      s.stalls.Snapshot(),
+		LinksDown:   s.linksDown,
+		Completion:  s.completion.snapshot(1e-6),
+		HotPorts:    hotPorts(s.portPeak, s.portHost),
+	}
+	return snap
+}
+
+var _ obs.Consumer = (*Sampler)(nil)

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func dataPacket(src, dst ib.LID, msgID uint64, seq, total uint8, inject sim.Time, hotspot bool) *ib.Packet {
+	return &ib.Packet{
+		ID: msgID<<8 | uint64(seq), Type: ib.DataPacket, Src: src, Dst: dst,
+		PayloadBytes: ib.MTU, Hotspot: hotspot,
+		MsgID: msgID, MsgSeq: seq, MsgPackets: total, InjectTime: inject,
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	b := obs.New()
+	s := NewSampler("run-a", 10*sim.Microsecond)
+	s.Attach(b)
+
+	// Two delivered data packets in bin 0 (one hotspot), a control packet,
+	// a queue movement, and a CCTI ramp.
+	p1 := dataPacket(1, 9, 1, 0, 2, sim.Time(0), true)
+	b.PacketDelivered(sim.Time(2*sim.Microsecond), 9, p1)
+	p2 := dataPacket(2, 8, 5, 0, 1, sim.Time(1*sim.Microsecond), false)
+	b.PacketDelivered(sim.Time(3*sim.Microsecond), 8, p2)
+	cnp := &ib.Packet{Type: ib.CNPPacket, Src: 9, Dst: 1}
+	b.PacketDelivered(sim.Time(4*sim.Microsecond), 1, cnp)
+	b.QueueSampled(sim.Time(5*sim.Microsecond), 3, 2, true, 0, 6000)
+	b.CCTIChanged(sim.Time(6*sim.Microsecond), 1, 9, 0, 4)
+	b.CreditStalled(sim.Time(7*sim.Microsecond), true, 3, 2, 0, 10, 2094)
+
+	// Crossing into bin 1 flushes bin 0.
+	p3 := dataPacket(1, 9, 1, 1, 2, sim.Time(500*sim.Nanosecond), true)
+	b.MsgCompleted(sim.Time(14*sim.Microsecond), 9, p3)
+	s.Finish()
+
+	snap := s.Snapshot()
+	if snap.Name != "run-a" || snap.CadenceUS != 10 {
+		t.Fatalf("identity wrong: %+v", snap)
+	}
+	if n := snap.HotspotGbps.V; len(n) < 1 {
+		t.Fatalf("no hotspot rate points")
+	}
+	// Bin 0: one hotspot MTU payload in 10 µs = 2048*8/10e-6 bits/s.
+	wantHot := float64(ib.MTU) * 8 / 10e-6 / 1e9
+	if got := snap.HotspotGbps.V[0]; !near(got, wantHot, 1e-9) {
+		t.Fatalf("hotspot rate = %v, want %v", got, wantHot)
+	}
+	if got := snap.OtherGbps.V[0]; !near(got, wantHot, 1e-9) {
+		t.Fatalf("other rate = %v, want %v", got, wantHot)
+	}
+	wantCtl := float64(ib.CNPBytes+ib.HeaderBytes) * 8 / 10e-6 / 1e9
+	if got := snap.ControlGbps.V[0]; !near(got, wantCtl, 1e-9) {
+		t.Fatalf("control rate = %v, want %v", got, wantCtl)
+	}
+	if got := snap.QueuedKB.V[0]; !near(got, 6000.0/1024, 1e-9) {
+		t.Fatalf("queued = %v", got)
+	}
+	if got := snap.Throttled.V[0]; got != 1 {
+		t.Fatalf("throttled = %v", got)
+	}
+	if got := snap.MaxCCTI.V[0]; got != 4 {
+		t.Fatalf("max ccti = %v", got)
+	}
+	if got := snap.Stalls.V[0]; got != 1 {
+		t.Fatalf("stalls = %v", got)
+	}
+
+	// The message span runs from the seq-0 packet's injection (t=0) to
+	// the completion delivery at 14 µs.
+	if snap.Completion.Count != 1 {
+		t.Fatalf("completion count = %d", snap.Completion.Count)
+	}
+	if p50 := snap.Completion.P50; p50 < 14 || p50 > 15 {
+		t.Fatalf("completion p50 = %v µs, want ~14 (within bucket bound)", p50)
+	}
+
+	if len(snap.HotPorts) != 1 || snap.HotPorts[0].Switch != 3 || snap.HotPorts[0].Port != 2 || !snap.HotPorts[0].HostPort {
+		t.Fatalf("hot ports = %+v", snap.HotPorts)
+	}
+}
+
+func near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func TestSamplerFallbackCompletionSpan(t *testing.T) {
+	b := obs.New()
+	s := NewSampler("run-b", 0)
+	s.Attach(b)
+	// A completion whose seq-0 delivery was never seen falls back to the
+	// final packet's own injection time.
+	p := dataPacket(2, 7, 9, 1, 2, sim.Time(3*sim.Microsecond), false)
+	b.MsgCompleted(sim.Time(8*sim.Microsecond), 7, p)
+	s.Finish()
+	c := s.Completion()
+	if c.Count != 1 {
+		t.Fatalf("count = %d", c.Count)
+	}
+	if c.P50 < 5 || c.P50 > 5.5 {
+		t.Fatalf("fallback span p50 = %v µs, want ~5", c.P50)
+	}
+}
+
+func TestSamplerLinkState(t *testing.T) {
+	b := obs.New()
+	s := NewSampler("run-c", 0)
+	s.Attach(b)
+	b.LinkDown(sim.Time(1), true, 0, 1)
+	b.LinkDown(sim.Time(2), true, 0, 2)
+	b.LinkUp(sim.Time(3), true, 0, 1)
+	p := &ib.Packet{ID: 1, Type: ib.DataPacket}
+	b.PacketDropped(sim.Time(4), true, 0, 2, p, 0, 2094)
+	s.Finish()
+	snap := s.Snapshot()
+	if snap.LinksDown != 1 {
+		t.Fatalf("links down = %d", snap.LinksDown)
+	}
+	if got := snap.Drops.V[len(snap.Drops.V)-1]; got != 1 {
+		t.Fatalf("drops = %v", got)
+	}
+}
+
+// TestSamplerDetachedZeroCost asserts the acceptance criterion: with no
+// sampler attached, the fabric's telemetry publish sites cost nothing —
+// the bus mask check returns before event construction, 0 allocs/op.
+func TestSamplerDetachedZeroCost(t *testing.T) {
+	bus := obs.New() // no subscribers at all
+	p := dataPacket(1, 2, 3, 1, 2, sim.Time(10), false)
+	if a := testing.AllocsPerRun(200, func() {
+		bus.PacketDelivered(sim.Time(100), 2, p)
+		bus.MsgCompleted(sim.Time(100), 2, p)
+		bus.QueueSampled(sim.Time(100), 0, 1, false, 0, 512)
+	}); a != 0 {
+		t.Fatalf("detached-sampler publish allocated %v/op", a)
+	}
+	var nilBus *obs.Bus
+	if a := testing.AllocsPerRun(200, func() {
+		nilBus.MsgCompleted(sim.Time(100), 2, p)
+	}); a != 0 {
+		t.Fatalf("nil-bus publish allocated %v/op", a)
+	}
+}
+
+// BenchmarkSamplerDetached is the bench-guarded form of the zero-cost
+// criterion; run with -benchmem and expect 0 B/op, 0 allocs/op.
+func BenchmarkSamplerDetached(b *testing.B) {
+	bus := obs.New()
+	p := dataPacket(1, 2, 3, 1, 2, sim.Time(10), false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.PacketDelivered(sim.Time(100), 2, p)
+		bus.MsgCompleted(sim.Time(100), 2, p)
+		bus.QueueSampled(sim.Time(100), 0, 1, false, 0, 512)
+	}
+}
+
+// BenchmarkSamplerAttached measures the per-event cost with a live
+// sampler, for the DESIGN.md overhead table.
+func BenchmarkSamplerAttached(b *testing.B) {
+	bus := obs.New()
+	s := NewSampler("bench", 0)
+	s.Attach(bus)
+	p := dataPacket(1, 2, 3, 0, 2, sim.Time(10), false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.PacketDelivered(sim.Time(int64(i)*1000), 2, p)
+	}
+}

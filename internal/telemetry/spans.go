@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// recentJobs bounds the finished-jobs ring in SweepStats.
+const recentJobs = 64
+
+// JobSpan is one finished job in the recent ring.
+type JobSpan struct {
+	Name   string  `json:"name"`
+	Worker int     `json:"worker"`
+	MS     float64 `json:"ms"`
+	Events uint64  `json:"events,omitempty"`
+	Cached bool    `json:"cached,omitempty"`
+	Retry  bool    `json:"retry,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// ActiveJob is one currently running job.
+type ActiveJob struct {
+	Name   string  `json:"name"`
+	Worker int     `json:"worker"`
+	MS     float64 `json:"ms"`
+}
+
+// SweepStats is the orchestration view of a sweep: progress, throughput,
+// worker utilization and the job-latency distribution.
+type SweepStats struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Cached  int `json:"cached"`
+	Active  int `json:"active"`
+	Retries int `json:"retries"`
+
+	Events       uint64  `json:"events"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// ETAMS extrapolates the remaining jobs at the observed completion
+	// rate; 0 until at least one job finishes or when Total is unset.
+	ETAMS float64 `json:"eta_ms"`
+
+	// Job wall-time distribution (ms), cached hits included.
+	JobMS HistSnapshot `json:"job_ms"`
+
+	Workers int `json:"workers"`
+	// WorkerUtil is the busy fraction across all workers since the
+	// tracker started, in [0,1].
+	WorkerUtil float64 `json:"worker_util"`
+
+	ActiveJobs []ActiveJob `json:"active_jobs,omitempty"`
+	Recent     []JobSpan   `json:"recent,omitempty"`
+}
+
+type span struct {
+	name   string
+	worker int
+	start  time.Time
+	retry  bool
+}
+
+// Tracker collects orchestration spans: every sweep job reports Begin
+// when a worker picks it up and End when it finishes. A name beginning a
+// second time counts as a retry (the fault-tolerant runner re-queues
+// failed scenarios). All methods are safe for concurrent use and no-ops
+// on a nil *Tracker, so wiring it through the runners costs one nil
+// check per job.
+type Tracker struct {
+	mu      sync.Mutex
+	start   time.Time
+	total   int
+	done    int
+	failed  int
+	cached  int
+	retries int
+	events  uint64
+	nextID  int
+	active  map[int]*span
+	begun   map[string]int
+	jobHist Hist // nanoseconds of wall time
+	busy    map[int]time.Duration
+	recent  []JobSpan
+}
+
+// NewTracker returns an empty tracker; the elapsed clock starts now.
+func NewTracker() *Tracker {
+	return &Tracker{
+		start:  time.Now(),
+		active: make(map[int]*span),
+		begun:  make(map[string]int),
+		busy:   make(map[int]time.Duration),
+	}
+}
+
+// SetTotal declares how many jobs the sweep holds (for progress and ETA).
+func (t *Tracker) SetTotal(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total = n
+	t.mu.Unlock()
+}
+
+// Begin opens a span for job name on the given worker and returns its
+// id (-1 on a nil tracker; End ignores it).
+func (t *Tracker) Begin(name string, worker int) int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	sp := &span{name: name, worker: worker, start: time.Now()}
+	if t.begun[name] > 0 {
+		sp.retry = true
+		t.retries++
+	}
+	t.begun[name]++
+	t.active[id] = sp
+	return id
+}
+
+// End closes span id: events is the run's executed event count, cached
+// marks an artifact-cache hit, err is empty on success.
+func (t *Tracker) End(id int, events uint64, cached bool, err string) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.active[id]
+	if !ok {
+		return
+	}
+	delete(t.active, id)
+	wall := time.Since(sp.start)
+	t.busy[sp.worker] += wall
+	t.jobHist.Record(wall.Nanoseconds())
+	t.events += events
+	if err != "" {
+		t.failed++
+	} else {
+		t.done++
+	}
+	if cached {
+		t.cached++
+	}
+	t.recent = append(t.recent, JobSpan{
+		Name: sp.name, Worker: sp.worker, MS: wall.Seconds() * 1e3,
+		Events: events, Cached: cached, Retry: sp.retry, Err: err,
+	})
+	if len(t.recent) > recentJobs {
+		t.recent = t.recent[len(t.recent)-recentJobs:]
+	}
+}
+
+// Stats returns the current sweep view; nil trackers return the zero
+// value.
+func (t *Tracker) Stats() SweepStats {
+	if t == nil {
+		return SweepStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start)
+	workers := make(map[int]bool, len(t.busy))
+	for w := range t.busy {
+		workers[w] = true
+	}
+	for _, sp := range t.active {
+		workers[sp.worker] = true
+	}
+	st := SweepStats{
+		Total: t.total, Done: t.done, Failed: t.failed, Cached: t.cached,
+		Active: len(t.active), Retries: t.retries, Events: t.events,
+		ElapsedMS: elapsed.Seconds() * 1e3,
+		JobMS:     t.jobHist.snapshot(1e-6),
+		Workers:   len(workers),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		st.EventsPerSec = float64(t.events) / sec
+		finished := t.done + t.failed
+		if t.total > 0 && finished > 0 && finished < t.total {
+			st.ETAMS = elapsed.Seconds() * 1e3 * float64(t.total-finished) / float64(finished)
+		}
+	}
+	if st.Workers > 0 && elapsed > 0 {
+		var busy time.Duration
+		for _, b := range t.busy {
+			busy += b
+		}
+		// Active spans count as busy time too.
+		for _, sp := range t.active {
+			busy += time.Since(sp.start)
+		}
+		if util := busy.Seconds() / (elapsed.Seconds() * float64(st.Workers)); util < 1 {
+			st.WorkerUtil = util
+		} else {
+			st.WorkerUtil = 1
+		}
+	}
+	for _, sp := range t.active {
+		st.ActiveJobs = append(st.ActiveJobs, ActiveJob{
+			Name: sp.name, Worker: sp.worker, MS: time.Since(sp.start).Seconds() * 1e3,
+		})
+	}
+	st.Recent = append([]JobSpan(nil), t.recent...)
+	return st
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(3)
+
+	id1 := tr.Begin("cell-a", 0)
+	id2 := tr.Begin("cell-b", 1)
+	st := tr.Stats()
+	if st.Active != 2 || st.Total != 3 || st.Done != 0 {
+		t.Fatalf("mid-flight stats: %+v", st)
+	}
+	if len(st.ActiveJobs) != 2 {
+		t.Fatalf("active jobs: %+v", st.ActiveJobs)
+	}
+
+	tr.End(id1, 1000, false, "")
+	tr.End(id2, 0, true, "")
+	if mid := tr.Stats(); mid.ETAMS <= 0 {
+		t.Fatalf("eta = %v with %d/%d finished", mid.ETAMS, mid.Done+mid.Failed, mid.Total)
+	}
+	// cell-a re-runs: counted as a retry.
+	id3 := tr.Begin("cell-a", 0)
+	tr.End(id3, 500, false, "boom")
+
+	st = tr.Stats()
+	if st.Done != 2 || st.Failed != 1 || st.Cached != 1 || st.Retries != 1 {
+		t.Fatalf("final stats: %+v", st)
+	}
+	if st.Events != 1500 {
+		t.Fatalf("events = %d", st.Events)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+	if st.WorkerUtil <= 0 || st.WorkerUtil > 1 {
+		t.Fatalf("util = %v", st.WorkerUtil)
+	}
+	if st.JobMS.Count != 3 {
+		t.Fatalf("job hist count = %d", st.JobMS.Count)
+	}
+	if len(st.Recent) != 3 {
+		t.Fatalf("recent = %+v", st.Recent)
+	}
+	last := st.Recent[2]
+	if last.Name != "cell-a" || !last.Retry || last.Err != "boom" {
+		t.Fatalf("recent tail: %+v", last)
+	}
+	if st.ETAMS != 0 {
+		t.Fatalf("eta = %v after every job finished", st.ETAMS)
+	}
+}
+
+func TestTrackerRecentRingBounded(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < recentJobs+50; i++ {
+		id := tr.Begin("job", 0)
+		tr.End(id, 0, false, "")
+	}
+	st := tr.Stats()
+	if len(st.Recent) != recentJobs {
+		t.Fatalf("recent len = %d, want %d", len(st.Recent), recentJobs)
+	}
+	if st.Done != recentJobs+50 {
+		t.Fatalf("done = %d", st.Done)
+	}
+	// Every re-entry of the same name after the first is a retry.
+	if st.Retries != recentJobs+49 {
+		t.Fatalf("retries = %d", st.Retries)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.SetTotal(5)
+	id := tr.Begin("x", 0)
+	if id != -1 {
+		t.Fatalf("nil Begin = %d", id)
+	}
+	tr.End(id, 0, false, "")
+	st := tr.Stats()
+	if st.Total != 0 || st.Done != 0 {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+func TestTrackerEndUnknownID(t *testing.T) {
+	tr := NewTracker()
+	tr.End(99, 0, false, "") // unknown id must be ignored
+	if st := tr.Stats(); st.Done != 0 || st.Failed != 0 {
+		t.Fatalf("unknown end counted: %+v", st)
+	}
+}
+
+func TestHubAggregation(t *testing.T) {
+	h := NewHub(0)
+	s1 := h.StartRun("cell-1")
+	s2 := h.StartRun("cell-2")
+	if s1 == nil || s2 == nil {
+		t.Fatalf("StartRun returned nil on a live hub")
+	}
+	snap := h.Snapshot()
+	if snap.Active != 2 || snap.Runs != 0 {
+		t.Fatalf("active snapshot: %+v", snap)
+	}
+	if snap.Live == nil || snap.Live.Name != "cell-1" {
+		t.Fatalf("live should be the oldest active run: %+v", snap.Live)
+	}
+
+	s1.completion.Record(int64(1000))
+	h.FinishRun(s1)
+	s2.completion.Record(int64(3000))
+	h.FinishRun(s2)
+
+	snap = h.Snapshot()
+	if snap.Runs != 2 || snap.Active != 0 {
+		t.Fatalf("finished snapshot: %+v", snap)
+	}
+	if snap.Completion.Count != 2 {
+		t.Fatalf("aggregate completion count = %d", snap.Completion.Count)
+	}
+	if snap.Live == nil || !snap.LiveDone || snap.Live.Name != "cell-2" {
+		t.Fatalf("idle hub should serve the last finished run: live=%+v done=%v", snap.Live, snap.LiveDone)
+	}
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	s := h.StartRun("x")
+	if s != nil {
+		t.Fatalf("nil hub handed out a sampler")
+	}
+	h.FinishRun(s)
+	if snap := h.Snapshot(); snap.Runs != 0 || snap.Live != nil {
+		t.Fatalf("nil hub snapshot: %+v", snap)
+	}
+}
+
+func TestJobSpanErrStrings(t *testing.T) {
+	tr := NewTracker()
+	id := tr.Begin(strings.Repeat("n", 10), 3)
+	tr.End(id, 42, false, "scenario failed: check")
+	st := tr.Stats()
+	if st.Recent[0].Worker != 3 || st.Recent[0].Events != 42 {
+		t.Fatalf("span fields: %+v", st.Recent[0])
+	}
+}

@@ -86,12 +86,17 @@ type Cell struct {
 
 	// Seed-mean scoring block (see RunScore).
 	FairnessScore float64 `json:"fairness_score"`
-	Fairness      float64 `json:"fairness"`
-	Efficiency    float64 `json:"efficiency"`
-	HotspotUtil   float64 `json:"hotspot_util"`
+	// ScoreCI95 is the half-width of the 95% Student-t confidence
+	// interval on FairnessScore over the cell's seeds (0 for one seed).
+	ScoreCI95   float64 `json:"score_ci95"`
+	Fairness    float64 `json:"fairness"`
+	Efficiency  float64 `json:"efficiency"`
+	HotspotUtil float64 `json:"hotspot_util"`
 
 	// Ground-truth throughput aggregates (Gbit/s, seed means).
 	VictimGbps float64 `json:"victim_gbps"`
+	// VictimCI95 is the 95% CI half-width on VictimGbps over seeds.
+	VictimCI95 float64 `json:"victim_ci95"`
 	NonHotGbps float64 `json:"nonhot_gbps"`
 	TotalGbps  float64 `json:"total_gbps"`
 
@@ -270,6 +275,8 @@ func (a *cellAcc) cell() Cell {
 	return Cell{
 		Seeds:          a.seeds,
 		FairnessScore:  a.score.Mean(),
+		ScoreCI95:      a.score.CI95(),
+		VictimCI95:     a.victim.CI95(),
 		Fairness:       a.fair.Mean(),
 		Efficiency:     a.eff.Mean(),
 		HotspotUtil:    a.hotutil.Mean(),
@@ -318,9 +325,9 @@ func Print(w io.Writer, t *Table) {
 	}
 	fmt.Fprintf(w, "CC backend tournament — radix %d, %d seeds, corpus %v%s\n",
 		t.Radix, len(t.Seeds), t.Corpus, checked)
-	fmt.Fprintf(w, "  %-9s %9s  %4s %-7s  %6s %6s %6s %6s  %8s %8s %8s  %6s %9s  %9s\n",
+	fmt.Fprintf(w, "  %-9s %9s  %4s %-7s  %6s %6s %6s %6s %6s  %8s %6s %8s %8s  %6s %9s  %9s\n",
 		"scenario", "intensity", "rank", "backend",
-		"score", "fair", "eff", "hotutl", "victimG", "nonhotG", "totalG", "trees", "marks", "recov")
+		"score", "±95", "fair", "eff", "hotutl", "victimG", "±95", "nonhotG", "totalG", "trees", "marks", "recov")
 	var prev string
 	for _, c := range t.Cells {
 		group := fmt.Sprintf("%s/%v", c.Scenario, c.Intensity)
@@ -328,10 +335,10 @@ func Print(w io.Writer, t *Table) {
 			fmt.Fprintln(w)
 		}
 		prev = group
-		fmt.Fprintf(w, "  %-9s %9.2f  %4d %-7s  %6.3f %6.3f %6.3f %6.3f  %8.3f %8.3f %8.2f  %6.1f %9.0f  %6d/%-2d\n",
+		fmt.Fprintf(w, "  %-9s %9.2f  %4d %-7s  %6.3f %6.3f %6.3f %6.3f %6.3f  %8.3f %6.3f %8.3f %8.2f  %6.1f %9.0f  %6d/%-2d\n",
 			c.Scenario, c.Intensity, c.Rank, c.Backend,
-			c.FairnessScore, c.Fairness, c.Efficiency, c.HotspotUtil,
-			c.VictimGbps, c.NonHotGbps, c.TotalGbps,
+			c.FairnessScore, c.ScoreCI95, c.Fairness, c.Efficiency, c.HotspotUtil,
+			c.VictimGbps, c.VictimCI95, c.NonHotGbps, c.TotalGbps,
 			c.Trees, c.FECNMarked, c.Recovered, c.Seeds)
 	}
 }

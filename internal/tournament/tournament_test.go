@@ -2,6 +2,7 @@ package tournament
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -119,6 +120,24 @@ func TestTournamentBracketsBackends(t *testing.T) {
 				in, nocc.FECNMarked, oracle.FECNMarked)
 		}
 	}
+	// Every cell carries finite, non-negative CI95 half-widths, and with
+	// two seeds at least one is strictly positive (seeds must disagree
+	// somewhere or the replication is broken).
+	anyCI := false
+	for _, c := range tab.Cells {
+		if c.ScoreCI95 < 0 || c.VictimCI95 < 0 ||
+			math.IsNaN(c.ScoreCI95) || math.IsNaN(c.VictimCI95) ||
+			math.IsInf(c.ScoreCI95, 0) || math.IsInf(c.VictimCI95, 0) {
+			t.Errorf("cell %s/%v/%s has bad CI95 (score ±%v, victim ±%v)",
+				c.Scenario, c.Intensity, c.Backend, c.ScoreCI95, c.VictimCI95)
+		}
+		if c.ScoreCI95 > 0 || c.VictimCI95 > 0 {
+			anyCI = true
+		}
+	}
+	if !anyCI {
+		t.Error("every CI95 half-width is zero across the table — seed variance lost")
+	}
 	// The render covers every backend and shape.
 	var buf bytes.Buffer
 	Print(&buf, tab)
@@ -126,6 +145,32 @@ func TestTournamentBracketsBackends(t *testing.T) {
 	for _, want := range []string{"ibcc", "nocc", "oracle", "rcm", "uniform", "hotspots", "windy", "moving"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestPrintCI95Columns(t *testing.T) {
+	tab := &Table{
+		Radix:       8,
+		Backends:    []string{"ibcc"},
+		Intensities: []float64{0},
+		Seeds:       []uint64{1, 2, 3},
+		Corpus:      []string{"hotspots"},
+		Cells: []Cell{{
+			Scenario: "hotspots", Backend: "ibcc", Rank: 1, Seeds: 3,
+			FairnessScore: 0.812, ScoreCI95: 0.034,
+			VictimGbps: 21.5, VictimCI95: 1.25,
+		}},
+	}
+	var buf strings.Builder
+	Print(&buf, tab)
+	out := buf.String()
+	if got := strings.Count(out, "±95"); got != 2 {
+		t.Fatalf("header carries %d ±95 columns, want 2:\n%s", got, out)
+	}
+	for _, want := range []string{"0.034", "1.250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CI half-width %s missing from table:\n%s", want, out)
 		}
 	}
 }
