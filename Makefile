@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament telemetry bench bench-obs bench-kernel paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament telemetry bench bench-obs bench-kernel bench-kernel-gate paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -94,6 +94,15 @@ bench-kernel:
 	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkKernel' -benchmem
 	$(GO) test ./internal/core -run '^$$' -bench BenchmarkPacketLifecycle -benchmem
 	$(GO) run ./cmd/paperbench -bench-kernel BENCH_kernel.json
+
+# Kernel performance regression gate: the in-tree best-of-N guard test
+# against the committed BENCH_kernel.json, then a fresh paperbench
+# measurement (reduced budget, best of 3) compared against the same
+# committed baseline — either fails on a >10% steady-state regression.
+bench-kernel-gate:
+	$(GO) test -count=1 -timeout 20m ./internal/core -run TestKernelBenchGuard
+	$(GO) run ./cmd/paperbench -bench-kernel /tmp/ibcc-bench-gate.json \
+		-bench-events 8000000 -bench-baseline BENCH_kernel.json
 
 # Quick end-to-end smoke: one figure, parallel, with artifacts.
 paperbench:

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	ibcc "repro"
+	"repro/internal/cliflag"
 )
 
 func main() {
@@ -58,6 +59,18 @@ func main() {
 		telem    = flag.Bool("telemetry", false, "attach the in-sim telemetry sampler and print per-class rates, message-completion percentiles and the hottest ports")
 	)
 	flag.Parse()
+
+	// Reject nonsensical numeric flags with one line and a non-zero
+	// exit: a zero worker pool hangs and zero seeds shrink a sweep.
+	for _, err := range []error{
+		cliflag.Workers("-jobs", *jobs),
+		cliflag.Positive("-seeds", *numSeeds),
+		cliflag.Positive("-radix", *radix),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	s := ibcc.DefaultScenario(*radix)
 	s.Seed = *seed

@@ -24,6 +24,17 @@ const (
 	baselineShallowNs = 88.0  // BenchmarkKernelShallow, 64 actors
 )
 
+const (
+	steadyActors  = 4096
+	shallowActors = 64
+)
+
+// benchGateRatio is the regression gate shared with
+// TestKernelBenchGuard: a fresh steady-state measurement more than 10%
+// slower than the committed BENCH_kernel.json fails the
+// -bench-baseline compare (and `make bench-kernel-gate`).
+const benchGateRatio = 1.10
+
 // kernelReport is the machine-readable BENCH_kernel.json document.
 type kernelReport struct {
 	GeneratedAt string `json:"generated_at"`
@@ -85,14 +96,14 @@ func benchKernelSteady(actors int, events int64) (wall time.Duration, allocs uin
 }
 
 // runBenchKernel measures the event kernel and the pooled packet
-// lifecycle, then writes BENCH_kernel.json to path.
-func runBenchKernel(path string) error {
-	const (
-		steadyActors  = 4096
-		steadyEvents  = 20_000_000
-		shallowActors = 64
-		shallowEvents = 5_000_000
-	)
+// lifecycle, then writes BENCH_kernel.json to path. steadyEvents is
+// the -bench-events budget (validated >= 1 at flag parse time); the
+// shallow workload scales with it at a 1:4 ratio.
+func runBenchKernel(path string, steadyEvents int64, baseline string) error {
+	shallowEvents := steadyEvents / 4
+	if shallowEvents < 1 {
+		shallowEvents = 1
+	}
 
 	var rep kernelReport
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
@@ -106,7 +117,7 @@ func runBenchKernel(path string) error {
 	rep.Baseline.ShallowNsPerEvent = baselineShallowNs
 
 	// Warm up the process (scheduler, heap) before timing.
-	benchKernelSteady(steadyActors, 2_000_000)
+	benchKernelSteady(steadyActors, min(2_000_000, steadyEvents))
 
 	wall, allocs := benchKernelSteady(steadyActors, steadyEvents)
 	rep.Kernel.FEL = "timing wheel"
@@ -158,6 +169,44 @@ func runBenchKernel(path string) error {
 		rep.Lifecycle.NsPerPacket, rep.Lifecycle.AllocsPerPkt,
 		rep.Lifecycle.SteadyAllocs, rep.Lifecycle.SteadyWindows)
 	fmt.Printf("wrote %s (history ring: %s)\n", path, histPath)
+
+	if baseline != "" {
+		return compareBenchBaseline(baseline, &rep, steadyEvents)
+	}
+	return nil
+}
+
+// compareBenchBaseline gates the fresh measurement against a committed
+// BENCH_kernel.json. The comparison takes the best (lowest) of the
+// recorded run and two repeats: scheduler noise on a busy box only
+// ever slows a run down, so best-of damps false alarms without letting
+// a genuine regression through.
+func compareBenchBaseline(path string, rep *kernelReport, steadyEvents int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base kernelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Kernel.NsPerEvent <= 0 {
+		return fmt.Errorf("%s: missing kernel.ns_per_event", path)
+	}
+	best := rep.Kernel.NsPerEvent
+	for i := 0; i < 2; i++ {
+		wall, _ := benchKernelSteady(steadyActors, steadyEvents)
+		if ns := float64(wall.Nanoseconds()) / float64(steadyEvents); ns < best {
+			best = ns
+		}
+	}
+	limit := base.Kernel.NsPerEvent * benchGateRatio
+	if best > limit {
+		return fmt.Errorf("kernel regression: best-of-3 %.1f ns/event vs committed %.1f ns/event (limit %.1f, +10%%)",
+			best, base.Kernel.NsPerEvent, limit)
+	}
+	fmt.Printf("gate   : best-of-3 %.1f ns/event within +10%% of committed %.1f (%s)\n",
+		best, base.Kernel.NsPerEvent, path)
 	return nil
 }
 

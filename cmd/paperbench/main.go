@@ -10,6 +10,7 @@
 //	paperbench -cpuprofile cpu.pb   # profile the run (go tool pprof)
 //	paperbench -chrome-trace f5.trace -ctree  # flight-record the base scenario
 //	paperbench -bench-kernel BENCH_kernel.json  # event-kernel + packet-lifecycle benchmark
+//	paperbench -bench-kernel /tmp/fresh.json -bench-baseline BENCH_kernel.json  # >10% regression gate
 //	paperbench -diff-kernel         # timing wheel vs reference heap, byte-identical check
 //	paperbench -check -exp table2   # run experiments under the invariant checker
 //	paperbench -degradation deg.json -seeds 3   # fault-intensity sweep, JSON artifact
@@ -40,11 +41,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
 	ibcc "repro"
+	"repro/internal/cliflag"
 )
 
 // tally accumulates one experiment's execution counters via the
@@ -72,6 +73,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchK   = flag.String("bench-kernel", "", "benchmark the event kernel + packet lifecycle, write JSON here, then exit")
+		benchN   = flag.Int("bench-events", 20_000_000, "steady-state event budget for -bench-kernel")
+		benchB   = flag.String("bench-baseline", "", "with -bench-kernel: compare the fresh measurement (best of 3) against this committed BENCH_kernel.json and fail on >10% regression")
 		diffK    = flag.Bool("diff-kernel", false, "differential kernel validation: run the Table II corpus on both event-list kernels under the invariant checker, then exit")
 		checkInv = flag.Bool("check", false, "run every simulation under the runtime invariant checker (fails on violations)")
 		events   = flag.String("events", "", "flight-record the base scenario: JSONL event log to this file, then exit")
@@ -88,6 +91,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Numeric flag validation up front: a zero worker pool hangs, a
+	// zero sweep step loops forever, and zero seeds silently shrink a
+	// sweep — all better rejected with one line and a non-zero exit.
+	for _, err := range []error{
+		cliflag.Workers("-jobs", *jobs),
+		cliflag.Positive("-seeds", *seeds),
+		cliflag.Positive("-pstep", *pstep),
+		cliflag.Positive("-radix", *radix),
+		cliflag.Positive("-bench-events", *benchN),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	ccNames, err := parseCCNames(*ccName)
 	if err != nil {
 		log.Fatal(err)
@@ -98,7 +116,7 @@ func main() {
 	defer writeMemProfile(*memProf)
 
 	if *benchK != "" {
-		if err := runBenchKernel(*benchK); err != nil {
+		if err := runBenchKernel(*benchK, int64(*benchN), *benchB); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -430,24 +448,14 @@ func parseCCNames(s string) ([]string, error) {
 	return names, nil
 }
 
-// parseIntensities parses the shared -intensities grid.
+// parseIntensities parses and validates the shared -intensities grid.
 func parseIntensities(s string) ([]float64, error) {
-	var ins []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("-intensities: %w", err)
-		}
-		ins = append(ins, v)
-	}
-	return ins, nil
+	return cliflag.Intensities("-intensities", s)
 }
 
-// seedsFrom returns n seeds counting up from base.
+// seedsFrom returns n seeds counting up from base; n is validated
+// (>= 1) at flag parse time.
 func seedsFrom(base uint64, n int) []uint64 {
-	if n < 1 {
-		n = 1
-	}
 	out := make([]uint64, n)
 	for i := range out {
 		out[i] = base + uint64(i)
@@ -462,9 +470,6 @@ func seedsFrom(base uint64, n int) []uint64 {
 // checker. Any trajectory divergence, invariant violation, or
 // checker-induced perturbation is an error.
 func runDiffKernel(base ibcc.Scenario, seeds int) error {
-	if seeds < 1 {
-		seeds = 1
-	}
 	start := time.Now()
 	failures := 0
 	for seed := uint64(0); seed < uint64(seeds); seed++ {

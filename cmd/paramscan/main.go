@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/sim"
@@ -48,6 +49,17 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Reject nonsensical numeric flags with one line and a non-zero
+	// exit instead of hanging a worker pool downstream.
+	for _, err := range []error{
+		cliflag.Workers("-jobs", *jobs),
+		cliflag.Positive("-radix", *radix),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	stopCPU := startCPUProfile(*cpuProf)
 	defer stopCPU()

@@ -124,6 +124,10 @@ type RCM struct {
 	// acc[switchIndex][port*numVLs+vl] is the marking accumulator.
 	acc [][]float64
 
+	// numVLs caches Config().NumVLs: the accessor copies the whole
+	// Config struct, too heavy for the per-enqueue marking path.
+	numVLs int
+
 	ca []rcmCA
 
 	stats Stats
@@ -147,6 +151,7 @@ func NewRCM(net *fabric.Network, p RCMParams, line sim.Rate) (*RCM, error) {
 	}
 	r := &RCM{net: net, simr: net.Sim(), p: p, line: line}
 	nv := net.Config().NumVLs
+	r.numVLs = nv
 	tp := net.Topology()
 	r.acc = make([][]float64, len(net.Switches()))
 	for _, sw := range net.Switches() {
@@ -198,8 +203,7 @@ func (r *RCM) onEnqueue(sw, out int, p *ib.Packet, st fabric.PortVLState) {
 	if q < r.p.KmaxBytes {
 		frac = r.p.PMax * float64(q-r.p.KminBytes) / float64(r.p.KmaxBytes-r.p.KminBytes)
 	}
-	nv := r.net.Config().NumVLs
-	acc := &r.acc[sw][out*nv+int(p.VL)]
+	acc := &r.acc[sw][out*r.numVLs+int(p.VL)]
 	*acc += frac
 	if *acc < 1 {
 		return

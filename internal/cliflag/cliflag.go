@@ -1,0 +1,54 @@
+// Package cliflag holds the numeric flag validation shared by the
+// command-line tools: count-like flags reject zero/negative values with
+// a one-line error (and a non-zero exit at the caller) instead of
+// hanging a worker pool or panicking deep inside a sweep.
+package cliflag
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Positive validates a count flag that must be at least 1 (seeds,
+// sweep steps, bench iteration counts).
+func Positive(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1, got %d", name, v)
+	}
+	return nil
+}
+
+// Workers validates a worker-pool size flag where 0 means "one per
+// CPU": negative values are the only rejects.
+func Workers(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (0 = one per CPU), got %d", name, v)
+	}
+	return nil
+}
+
+// Intensities parses a comma-separated fault-intensity grid and
+// validates every value into [0, 1]; the list must be non-empty.
+func Intensities(name, s string) ([]float64, error) {
+	var ins []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return nil, fmt.Errorf("%s: intensity %v outside [0, 1]", name, v)
+		}
+		ins = append(ins, v)
+	}
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("%s: empty intensity list", name)
+	}
+	return ins, nil
+}

@@ -1,0 +1,47 @@
+package cliflag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositive(t *testing.T) {
+	if err := Positive("-seeds", 1); err != nil {
+		t.Fatalf("Positive(1): %v", err)
+	}
+	for _, v := range []int{0, -1, -100} {
+		err := Positive("-seeds", v)
+		if err == nil {
+			t.Fatalf("Positive(%d) accepted", v)
+		}
+		if !strings.Contains(err.Error(), "-seeds") {
+			t.Fatalf("error does not name the flag: %v", err)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, v := range []int{0, 1, 64} {
+		if err := Workers("-jobs", v); err != nil {
+			t.Fatalf("Workers(%d): %v", v, err)
+		}
+	}
+	if Workers("-jobs", -1) == nil {
+		t.Fatal("Workers(-1) accepted")
+	}
+}
+
+func TestIntensities(t *testing.T) {
+	ins, err := Intensities("-intensities", "0, 0.25,0.5,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 4 || ins[0] != 0 || ins[3] != 1 {
+		t.Fatalf("parsed %v", ins)
+	}
+	for _, bad := range []string{"-0.1", "1.5", "abc", "", "0,,nan", "0.5,2"} {
+		if _, err := Intensities("-intensities", bad); err == nil {
+			t.Fatalf("Intensities(%q) accepted", bad)
+		}
+	}
+}

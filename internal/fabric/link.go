@@ -51,6 +51,10 @@ type linkOut struct {
 	// credit stall); slow > 1 multiplies serialization time.
 	down bool
 	slow float64
+
+	// check caches cfg.Check so the per-packet transmit path reads one
+	// local byte instead of chasing net→cfg.
+	check bool
 }
 
 func (l *linkOut) initCredits(n, per int) {
@@ -58,6 +62,7 @@ func (l *linkOut) initCredits(n, per int) {
 	for i := range l.credits {
 		l.credits[i] = per
 	}
+	l.check = l.net.cfg.Check
 }
 
 // canSend reports whether the VL has credits for a packet of wire size b.
@@ -71,7 +76,7 @@ func (l *linkOut) canSend(vl ib.VL, b int) bool {
 func (l *linkOut) transmit(p *ib.Packet) sim.Duration {
 	wire := p.WireBytes()
 	l.credits[p.VL] -= wire
-	if l.net.cfg.Check && l.credits[p.VL] < 0 {
+	if l.check && l.credits[p.VL] < 0 {
 		panic(fmt.Sprintf("fabric: negative credits on vl %d", p.VL))
 	}
 	l.busy = true

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ib"
 	"repro/internal/sim"
@@ -33,16 +34,31 @@ type swInPort struct {
 // swOutPort is the transmitting side of a switch port: VoQs per
 // (input port, VL), per-VL queued-byte accounting for congestion
 // detection, and the round-robin arbitration state.
+//
+// The VoQ array is a power-of-two ring indexed voqs[inPort<<vlShift|vl]
+// (mirroring pktQueue's mask layout): ports and VLs are padded up to
+// powers of two so the arbiter scan wraps with a mask instead of a
+// compare-and-subtract, and recovering (inPort, vl) from a ring index
+// is a shift/mask instead of a division. Padding slots hold permanently
+// empty queues the scan skips over. Cyclic lexicographic order over the
+// real (inPort, vl) pairs — and therefore the grant sequence — is
+// identical to the unpadded layout; the golden trajectory tests pin
+// this.
 type swOutPort struct {
 	linkOut
 	sw      *SwitchNode
 	port    int
-	voqs    []pktQueue // [inPort*numVLs + vl]
+	voqs    []pktQueue // pow2 ring: [inPort<<vlShift | vl]
 	qbytes  []int      // queued bytes per VL across all inputs
 	rr      int        // arbitration pointer into voqs
+	vlShift uint       // log2 of the padded per-input VL stride
+	voqMask int        // len(voqs) - 1
 	pending int        // total queued packets
 	txAct   sim.Action // pre-bound serializer-done callback
 }
+
+// pow2ceil rounds x (≥ 1) up to the next power of two.
+func pow2ceil(x int) int { return 1 << bits.Len(uint(x-1)) }
 
 func newSwitchNode(n *Network, node *topo.Node, index int) *SwitchNode {
 	sw := &SwitchNode{net: n, id: node.ID, index: index}
@@ -60,7 +76,9 @@ func newSwitchNode(n *Network, node *topo.Node, index int) *SwitchNode {
 		sw.in[p] = ip
 		op := &swOutPort{sw: sw, port: p}
 		op.net = n
-		op.voqs = make([]pktQueue, nports*n.cfg.NumVLs)
+		op.vlShift = uint(bits.Len(uint(n.cfg.NumVLs - 1)))
+		op.voqs = make([]pktQueue, pow2ceil(nports)<<op.vlShift)
+		op.voqMask = len(op.voqs) - 1
 		op.qbytes = make([]int, n.cfg.NumVLs)
 		op.txAct = swTxAct{op}
 		sw.out[p] = op
@@ -95,7 +113,6 @@ func (ip *swInPort) dropArrive(p *ib.Packet) {
 
 func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
 	n := op.net
-	nv := n.cfg.NumVLs
 	// Arrival-side congestion sampling: the hook sees the queue the
 	// packet joins, before it is added.
 	if n.hooks.SwitchEnqueue != nil && p.Type == ib.DataPacket {
@@ -107,7 +124,7 @@ func (op *swOutPort) enqueue(inPort int, p *ib.Packet) {
 		}
 		n.hooks.SwitchEnqueue(op.sw.index, op.port, p, st)
 	}
-	op.voqs[inPort*nv+int(p.VL)].Push(p)
+	op.voqs[inPort<<op.vlShift|int(p.VL)].Push(p)
 	op.qbytes[p.VL] += p.WireBytes()
 	op.pending++
 	n.bus.QueueSampled(n.simr.Now(), op.sw.index, op.port, op.hostFacing, p.VL, op.qbytes[p.VL])
@@ -128,10 +145,7 @@ func (op *swOutPort) tryTx() {
 	n := op.net
 	total := len(op.voqs)
 	for i := 0; i < total; i++ {
-		k := op.rr + i
-		if k >= total {
-			k -= total
-		}
+		k := (op.rr + i) & op.voqMask
 		q := &op.voqs[k]
 		head := q.Peek()
 		if head == nil {
@@ -141,16 +155,13 @@ func (op *swOutPort) tryTx() {
 		// switching); the grant needs credits on the outgoing VL.
 		vlNext := head.VL
 		if n.hooks.SelectVL != nil {
-			vlNext = n.hooks.SelectVL(op.sw.index, k/n.cfg.NumVLs, op.port, head)
+			vlNext = n.hooks.SelectVL(op.sw.index, k>>op.vlShift, op.port, head)
 		}
 		if !op.canSend(vlNext, head.WireBytes()) {
 			n.bus.CreditStalled(n.simr.Now(), true, op.sw.index, op.port, vlNext, op.credits[vlNext], head.WireBytes())
 			continue
 		}
-		op.rr = k + 1
-		if op.rr == total {
-			op.rr = 0
-		}
+		op.rr = (k + 1) & op.voqMask
 		q.Pop()
 		op.pending--
 		wire := head.WireBytes()
@@ -172,7 +183,7 @@ func (op *swOutPort) tryTx() {
 		// Free the input buffer slot and return the credit upstream
 		// on the VL the packet occupied locally, then move it to its
 		// outgoing VL.
-		ip := op.sw.in[k/n.cfg.NumVLs]
+		ip := op.sw.in[k>>op.vlShift]
 		ip.free[head.VL] += wire
 		n.sendCredit(ip.up, head.VL, wire)
 		head.VL = vlNext

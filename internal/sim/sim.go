@@ -24,6 +24,10 @@ type Simulator struct {
 	// releases beyond it return events to the garbage collector.
 	peakPending int
 
+	// poolLimit caches max(peakPending, minEventPool) so release pays a
+	// single compare instead of recomputing the floor per event.
+	poolLimit int
+
 	// Processed counts events executed since construction (dead events
 	// discarded from the queue are not counted).
 	processed uint64
@@ -42,7 +46,7 @@ type Simulator struct {
 
 // New returns a Simulator with the clock at time zero.
 func New() *Simulator {
-	s := &Simulator{}
+	s := &Simulator{poolLimit: minEventPool}
 	s.queue.init()
 	return s
 }
@@ -86,7 +90,7 @@ func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
 		panic("sim: scheduling nil function")
 	}
 	e := s.alloc(t)
-	e.fn = fn
+	e.act = funcAction(fn)
 	s.push(e)
 	return e
 }
@@ -115,18 +119,36 @@ func (s *Simulator) ScheduleActionAt(t Time, a Action) *Event {
 func (s *Simulator) push(e *Event) {
 	if s.ref != nil {
 		s.ref.push(e)
-	} else {
-		s.queue.push(e)
+		if n := len(s.ref.items); n > s.peakPending {
+			s.peakPending = n
+			if n > s.poolLimit {
+				s.poolLimit = n
+			}
+		}
+		return
 	}
-	if n := s.Pending(); n > s.peakPending {
+	s.queue.push(e)
+	if n := s.queue.wcount + len(s.queue.overflow.items); n > s.peakPending {
 		s.peakPending = n
+		if n > s.poolLimit {
+			s.poolLimit = n
+		}
 	}
 }
 
-// alloc takes an event from the recycle pool or makes a new one.
+// panicPast reports a causality violation; split out of alloc so the
+// format call does not weigh down alloc's inlining budget.
+func panicPast(t, now Time) {
+	panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, now))
+}
+
+// alloc takes an event from the recycle pool or makes a new one. Pooled
+// events were part-normalized by release (act and next already nil);
+// dead is cleared here, not there, so a cancelled handle keeps
+// reporting Cancelled() until the event is actually reused.
 func (s *Simulator) alloc(t Time) *Event {
 	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+		panicPast(t, s.now)
 	}
 	var e *Event
 	if n := len(s.pool); n > 0 {
@@ -136,24 +158,23 @@ func (s *Simulator) alloc(t Time) *Event {
 	} else {
 		e = &Event{}
 	}
-	*e = Event{time: t, seq: s.seq}
+	e.time = t
+	e.seq = s.seq
+	e.dead = false
 	s.seq++
 	return e
 }
 
-// release recycles a fired or discarded event. The pool is capped at the
-// measured pending high-water mark (with a small floor): the number of
-// live handles is pending + pooled, so a pool of peakPending events is
-// exactly enough to make every future alloc a recycle — a larger one is
-// garbage that can never drain.
+// release recycles a fired or discarded event, dropping its callback
+// reference (the caller guarantees e is unlinked, so next is already
+// nil; dead is left for alloc so stale handles still read Cancelled).
+// The pool is capped at the measured pending high-water mark (with a
+// small floor): the number of live handles is pending + pooled, so a
+// pool of peakPending events is exactly enough to make every future
+// alloc a recycle — a larger one is garbage that can never drain.
 func (s *Simulator) release(e *Event) {
-	e.fn = nil
 	e.act = nil
-	limit := s.peakPending
-	if limit < minEventPool {
-		limit = minEventPool
-	}
-	if len(s.pool) < limit {
+	if len(s.pool) < s.poolLimit {
 		s.pool = append(s.pool, e)
 	}
 }
@@ -163,7 +184,7 @@ func (s *Simulator) release(e *Event) {
 func (s *Simulator) Cancel(e *Event) {
 	if e != nil {
 		e.dead = true
-		e.fn = nil
+		e.act = nil
 	}
 }
 
@@ -181,6 +202,14 @@ func (s *Simulator) Run() uint64 {
 // beyond end. The clock is left at the later of its current value and
 // end if the horizon was reached, so subsequent scheduling is relative to
 // the horizon. It returns the number of events executed by this call.
+//
+// The loop variant is pre-selected once per call instead of branching
+// per event: the default wheel kernel with no exec hook runs the
+// batched slot-drain loop (runWheel), while the reference kernel and
+// hooked runs take the generic peek/pop loop (runSlow). A hook
+// installed by a callback mid-run takes effect at the next slot
+// boundary (see runWheel); UseReferenceFEL cannot occur mid-run — it
+// panics while running.
 func (s *Simulator) RunUntil(end Time) uint64 {
 	if s.running {
 		panic("sim: Run called reentrantly")
@@ -189,7 +218,134 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 	s.stopped = false
 	defer func() { s.running = false }()
 
+	if s.ref == nil && s.execHook == nil {
+		return s.runWheel(end)
+	}
+	return s.runSlow(end, 0)
+}
+
+// runWheel is the hot loop: one peek per timing-wheel slot, then a
+// batched drain of the loaded slot's scratch buffer. Events of a slot
+// strictly below the horizon's slot skip the per-event end comparison
+// entirely — every event the slot holds (including ones a callback
+// inserts mid-drain, which by construction land in this same slot or
+// later) is known to be within the horizon.
+func (s *Simulator) runWheel(end Time) uint64 {
+	q := &s.queue
+	endSlot := int64(end) >> wheelGranShift
 	var n uint64
+	for !s.stopped {
+		if s.execHook != nil {
+			// A callback installed the FEL-order probe mid-run; fall
+			// back to the generic loop at this slot boundary.
+			return s.runSlow(end, n)
+		}
+		e := q.peek()
+		if e == nil {
+			break
+		}
+		if e.time > end {
+			if end != MaxTime && s.now < end {
+				s.now = end
+			}
+			return n
+		}
+		// peek's postcondition: the cursor slot is loaded and e is
+		// cur[curIdx], so the drains index the scratch directly.
+		if q.absSlot < endSlot {
+			n = s.drainSlot(q, n)
+		} else {
+			var hitEnd bool
+			n, hitEnd = s.drainSlotTo(q, end, n)
+			if hitEnd {
+				if end != MaxTime && s.now < end {
+					s.now = end
+				}
+				return n
+			}
+		}
+	}
+	if end != MaxTime && s.now < end && s.Pending() == 0 && !s.stopped {
+		s.now = end
+	}
+	return n
+}
+
+// drainSlot executes the loaded slot to exhaustion (no per-event end
+// checks — the caller proved the whole slot lies within the horizon),
+// returning the updated executed-event count. It returns early when a
+// callback stops the run; callbacks that push into this same slot grow
+// the scratch mid-drain and are executed in order.
+func (s *Simulator) drainSlot(q *eventQueue, n uint64) uint64 {
+	for {
+		e := q.cur[q.curIdx]
+		q.cur[q.curIdx] = nil
+		q.curIdx++
+		q.wcount--
+		if q.curIdx == len(q.cur) {
+			// Eagerly release the drained scratch before dispatch: a
+			// re-anchoring push from the callback may target this slot
+			// again before peek advances the cursor.
+			q.resetCur()
+		}
+		if e.dead {
+			s.release(e)
+		} else {
+			s.now = e.time
+			act := e.act
+			s.release(e)
+			act.Act()
+			n++
+			s.processed++
+			if s.stopped {
+				return n
+			}
+		}
+		if !q.curLoaded {
+			return n
+		}
+	}
+}
+
+// drainSlotTo is drainSlot for the slot containing the horizon: each
+// event is checked against end, and hitting the horizon leaves the
+// event in place (mirroring the peek-only path) and reports hitEnd.
+func (s *Simulator) drainSlotTo(q *eventQueue, end Time, n uint64) (_ uint64, hitEnd bool) {
+	for {
+		e := q.cur[q.curIdx]
+		if e.time > end {
+			return n, true
+		}
+		q.cur[q.curIdx] = nil
+		q.curIdx++
+		q.wcount--
+		if q.curIdx == len(q.cur) {
+			q.resetCur()
+		}
+		if e.dead {
+			s.release(e)
+		} else {
+			s.now = e.time
+			act := e.act
+			s.release(e)
+			act.Act()
+			n++
+			s.processed++
+			if s.stopped {
+				return n, false
+			}
+		}
+		if !q.curLoaded {
+			return n, false
+		}
+	}
+}
+
+// runSlow is the generic per-event loop: it serves the reference heap
+// kernel and exec-hooked runs, paying the kernel-select and hook nil
+// checks per event. n is the count already executed by a preceding
+// batched phase.
+func (s *Simulator) runSlow(end Time, n uint64) uint64 {
 	for !s.stopped {
 		var e *Event
 		if s.ref != nil {
@@ -219,13 +375,9 @@ func (s *Simulator) RunUntil(end Time) uint64 {
 		if s.execHook != nil {
 			s.execHook(e.time, e.seq)
 		}
-		fn, act := e.fn, e.act
+		act := e.act
 		s.release(e)
-		if act != nil {
-			act.Act()
-		} else {
-			fn()
-		}
+		act.Act()
 		n++
 		s.processed++
 	}

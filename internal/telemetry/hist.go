@@ -38,7 +38,8 @@ type Hist struct {
 	buckets [histBuckets]uint64
 	count   uint64
 	sum     uint64
-	max     int64
+	min     int64 // exact smallest recorded value; valid when count > 0
+	max     int64 // exact largest recorded value
 }
 
 // histIndex maps a value to its bucket.
@@ -75,6 +76,9 @@ func (h *Hist) Record(v int64) {
 		v = 0
 	}
 	h.buckets[histIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
 	h.count++
 	h.sum += uint64(v)
 	if v > h.max {
@@ -96,18 +100,31 @@ func (h *Hist) Mean() int64 {
 // Max returns the largest recorded value.
 func (h *Hist) Max() int64 { return h.max }
 
+// Min returns the smallest recorded value (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
 // Quantile returns an upper bound on the q-quantile (q in [0,1]): the
 // top of the bucket where the cumulative count crosses q·count, within
-// one sub-bucket of the true order statistic.
+// one sub-bucket of the true order statistic. The endpoints are exact:
+// Quantile(0) is the recorded minimum and Quantile(1) the recorded
+// maximum, and every result is clamped into [min, max] so a reported
+// percentile never exceeds a value that was actually recorded (a bucket
+// upper bound can otherwise overshoot). Out-of-range q clamps to the
+// endpoints; an empty histogram returns 0.
 func (h *Hist) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		return h.min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.max
 	}
 	target := uint64(q * float64(h.count))
 	if target == 0 {
@@ -124,6 +141,9 @@ func (h *Hist) Quantile(q float64) int64 {
 			if u > h.max {
 				u = h.max
 			}
+			if u < h.min {
+				u = h.min
+			}
 			return u
 		}
 	}
@@ -132,8 +152,14 @@ func (h *Hist) Quantile(q float64) int64 {
 
 // Merge adds other's samples into h.
 func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
 	for i, n := range other.buckets {
 		h.buckets[i] += n
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
 	}
 	h.count += other.count
 	h.sum += other.sum

@@ -117,6 +117,114 @@ func TestHistMergeAndStats(t *testing.T) {
 	}
 }
 
+// TestHistQuantileEndpoints pins the exact-endpoint contract: a
+// single-value histogram reports that value at every quantile, and
+// Quantile(0)/Quantile(1) return the exact recorded minimum and
+// maximum. The two-value case is the regression: the minimum's bucket
+// upper bound (e.g. 103 for 100) used to leak out of Quantile(0).
+func TestHistQuantileEndpoints(t *testing.T) {
+	var single Hist
+	single.Record(12345)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 12345 {
+			t.Fatalf("single-value Quantile(%v) = %d, want 12345", q, got)
+		}
+	}
+
+	var h Hist
+	h.Record(100) // bucket upper bound is 103: Quantile(0) must not report it
+	h.Record(200)
+	if got := h.Quantile(0); got != 100 {
+		t.Fatalf("Quantile(0) = %d, want exact min 100", got)
+	}
+	if got := h.Quantile(1); got != 200 {
+		t.Fatalf("Quantile(1) = %d, want exact max 200", got)
+	}
+	if got := h.Min(); got != 100 {
+		t.Fatalf("Min() = %d, want 100", got)
+	}
+	// Out-of-range q clamps to the endpoints.
+	if h.Quantile(-3) != 100 || h.Quantile(7) != 200 {
+		t.Fatalf("out-of-range q not clamped: %d, %d", h.Quantile(-3), h.Quantile(7))
+	}
+	// No quantile may exceed the recorded maximum or undershoot the
+	// recorded minimum.
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if v := h.Quantile(q); v < 100 || v > 200 {
+			t.Fatalf("Quantile(%v) = %d outside [100, 200]", q, v)
+		}
+	}
+
+	var empty Hist
+	if empty.Quantile(0) != 0 || empty.Quantile(1) != 0 || empty.Min() != 0 {
+		t.Fatal("empty histogram endpoints not zero")
+	}
+}
+
+// TestHistMergeMin pins min propagation through Merge, including from
+// and into empty histograms.
+func TestHistMergeMin(t *testing.T) {
+	var a, b, empty Hist
+	a.Record(500)
+	b.Record(50)
+	a.Merge(&empty) // merging empty must not fabricate a 0 minimum
+	if a.Min() != 500 {
+		t.Fatalf("min after empty merge = %d, want 500", a.Min())
+	}
+	a.Merge(&b)
+	if a.Min() != 50 {
+		t.Fatalf("merged min = %d, want 50", a.Min())
+	}
+	var fresh Hist
+	fresh.Merge(&a)
+	if fresh.Min() != 50 || fresh.Count() != 2 {
+		t.Fatalf("merge into empty: min=%d count=%d", fresh.Min(), fresh.Count())
+	}
+}
+
+// TestHistIndexUpperTable is the table-driven round-trip sweep over the
+// major-bucket rows up to and including the MaxInt64 boundary and the
+// overflow clamp: histUpper(histIndex(v)) must bound v from above
+// within one sub-bucket (1/16 relative error).
+func TestHistIndexUpperTable(t *testing.T) {
+	cases := []int64{
+		0, 1, 15, // exact sub-bucket row
+		16, 17, 31, // first log-linear row
+		100, 103, 1000, 4096, 65535, 65536,
+		1 << 20, 1<<20 + 1, 1<<30 - 1, 1 << 40, 1 << 50, 1 << 62,
+		math.MaxInt64 - 1, math.MaxInt64,
+	}
+	// Every power-of-two row boundary and its neighbors.
+	for s := uint(4); s < 63; s++ {
+		cases = append(cases, int64(1)<<s-1, int64(1)<<s, int64(1)<<s+1)
+	}
+	for _, v := range cases {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		u := histUpper(idx)
+		if u < v {
+			t.Fatalf("histUpper(histIndex(%d)) = %d below value", v, u)
+		}
+		// Relative error bound: the bucket top is within 1/16 of the
+		// value (the overflow row clamps to MaxInt64 and is exempt
+		// from the bound only insofar as the clamp itself caps it).
+		if v >= histSubBuckets && u != math.MaxInt64 {
+			if float64(u-v) > float64(v)/float64(histSubBuckets)+1 {
+				t.Fatalf("histUpper(histIndex(%d)) = %d exceeds 1/16 relative error", v, u)
+			}
+		}
+		if got := histIndex(u); got != idx {
+			t.Fatalf("histIndex(histUpper(%d)) = %d, want %d (v=%d)", idx, got, idx, v)
+		}
+	}
+	// The overflow clamp: the top row's upper bound is exactly MaxInt64.
+	if u := histUpper(histIndex(math.MaxInt64)); u != math.MaxInt64 {
+		t.Fatalf("top bucket upper = %d, want MaxInt64", u)
+	}
+}
+
 func TestHistNegativeClamps(t *testing.T) {
 	var h Hist
 	h.Record(-5)

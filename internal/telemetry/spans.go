@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -182,11 +183,16 @@ func (t *Tracker) Stats() SweepStats {
 		JobMS:     t.jobHist.snapshot(1e-6),
 		Workers:   len(workers),
 	}
+	// Rate and ETA guards: a fresh tracker has elapsed ≈ 0 and
+	// finished == 0, and encoding/json refuses ±Inf/NaN, so an
+	// unguarded division here would break every /metrics.json poll
+	// against a just-started sweep. Divide only when both denominators
+	// are strictly positive, and sanitize the end result regardless.
 	if sec := elapsed.Seconds(); sec > 0 {
 		st.EventsPerSec = float64(t.events) / sec
 		finished := t.done + t.failed
 		if t.total > 0 && finished > 0 && finished < t.total {
-			st.ETAMS = elapsed.Seconds() * 1e3 * float64(t.total-finished) / float64(finished)
+			st.ETAMS = sec * 1e3 * float64(t.total-finished) / float64(finished)
 		}
 	}
 	if st.Workers > 0 && elapsed > 0 {
@@ -210,5 +216,17 @@ func (t *Tracker) Stats() SweepStats {
 		})
 	}
 	st.Recent = append([]JobSpan(nil), t.recent...)
+	st.sanitize()
 	return st
+}
+
+// sanitize zeroes any non-finite float field so the stats always
+// marshal: encoding/json errors on ±Inf/NaN, and a monitoring endpoint
+// must degrade to a zero reading, never to a failed poll.
+func (st *SweepStats) sanitize() {
+	for _, f := range []*float64{&st.ElapsedMS, &st.EventsPerSec, &st.ETAMS, &st.WorkerUtil} {
+		if math.IsInf(*f, 0) || math.IsNaN(*f) {
+			*f = 0
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -138,6 +140,63 @@ func TestHubNilSafe(t *testing.T) {
 	h.FinishRun(s)
 	if snap := h.Snapshot(); snap.Runs != 0 || snap.Live != nil {
 		t.Fatalf("nil hub snapshot: %+v", snap)
+	}
+}
+
+// TestFreshTrackerStatsMarshal polls a just-created tracker the way
+// /metrics.json does: zero finished jobs and near-zero elapsed time
+// must still produce finite, marshalable stats — encoding/json errors
+// on ±Inf/NaN, so a bad division here fails the whole poll.
+func TestFreshTrackerStatsMarshal(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(100)
+	st := tr.Stats()
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("fresh tracker stats do not marshal: %v", err)
+	}
+	if st.ETAMS != 0 {
+		t.Fatalf("ETA with zero finished jobs = %v, want 0", st.ETAMS)
+	}
+	for name, v := range map[string]float64{
+		"elapsed_ms": st.ElapsedMS, "events_per_sec": st.EventsPerSec,
+		"eta_ms": st.ETAMS, "worker_util": st.WorkerUtil,
+	} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("%s = %v not finite", name, v)
+		}
+	}
+
+	// A tracker with active-but-unfinished work: still finished == 0.
+	tr2 := NewTracker()
+	tr2.SetTotal(4)
+	tr2.Begin("job-a", 0)
+	st2 := tr2.Stats()
+	if _, err := json.Marshal(st2); err != nil {
+		t.Fatalf("active tracker stats do not marshal: %v", err)
+	}
+	if st2.ETAMS != 0 || math.IsNaN(st2.WorkerUtil) {
+		t.Fatalf("active tracker: eta=%v util=%v", st2.ETAMS, st2.WorkerUtil)
+	}
+}
+
+// TestSweepStatsSanitize pins the defense-in-depth scrub: non-finite
+// fields zero out rather than reaching the encoder.
+func TestSweepStatsSanitize(t *testing.T) {
+	st := SweepStats{
+		ElapsedMS:    math.Inf(1),
+		EventsPerSec: math.Inf(-1),
+		ETAMS:        math.NaN(),
+		WorkerUtil:   0.5,
+	}
+	st.sanitize()
+	if st.ElapsedMS != 0 || st.EventsPerSec != 0 || st.ETAMS != 0 {
+		t.Fatalf("sanitize left non-finite fields: %+v", st)
+	}
+	if st.WorkerUtil != 0.5 {
+		t.Fatalf("sanitize clobbered finite field: %v", st.WorkerUtil)
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("sanitized stats do not marshal: %v", err)
 	}
 }
 
