@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament telemetry bench bench-obs bench-kernel bench-kernel-gate paperbench clean
+.PHONY: check fmt-check vet build build-debug test race invariants degradation tournament telemetry resilience bench bench-obs bench-kernel bench-kernel-gate paperbench clean
 
 check: fmt-check vet build build-debug race
 
@@ -78,6 +78,19 @@ telemetry:
 		-intensities 0,0.6 -seeds 1 -serve 127.0.0.1:0 -serve-probe \
 		-report /tmp/ibcc-telemetry-report.json
 	$(GO) run ./cmd/cctinspect -report /tmp/ibcc-telemetry-report.json
+
+# Crash-safety smoke: the checkpoint format + differential restore
+# suites (byte-identical continuation), the executor's retry / watchdog
+# / quarantine / manifest suite (including the always-panicking job that
+# must end up quarantined while the sweep completes), then the CLI story
+# end to end via scripts/resilience_smoke.sh: SIGKILL an in-flight
+# checkpointing run and a sweep, resume both, require identical output
+# and an identical artifact set.
+resilience:
+	$(GO) test -count=1 ./internal/ckpt ./internal/fault -run 'Decode|Encode|SaveAtomic|Validate|Keeper|Latest|Cadence|InjectorState'
+	$(GO) test -count=1 ./internal/core -run 'Checkpoint'
+	$(GO) test -count=1 ./internal/exp -run 'Retries|Retry|Timeout|Quarantine|Corrupt|CRC|Manifest'
+	sh scripts/resilience_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem

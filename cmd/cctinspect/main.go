@@ -14,11 +14,16 @@
 // run-report artifact (written by paperbench -report), rendering an
 // embedded tournament table when one is present.
 //
+// With -ckpt it validates a checkpoint file (or the newest one in a
+// directory) and prints its header: scenario, simulated clock, pending
+// events by kind, packet custody and digest position.
+//
 //	cctinspect -threshold 3
 //	cctinspect -run -radix 12 -fracb 100 -p 60 -interval 500us
 //	cctinspect -run -check    # the same, audited by the invariant checker
 //	cctinspect -tournament tour.json
 //	cctinspect -report run.json
+//	cctinspect -ckpt ckpts/
 package main
 
 import (
@@ -27,10 +32,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/ib"
@@ -56,8 +63,16 @@ func main() {
 		checkInv = flag.Bool("check", false, "run the -run scenario under the runtime invariant checker; exit non-zero on violations")
 		tourn    = flag.String("tournament", "", "render a backend-tournament JSON artifact (from paperbench -tournament) and exit")
 		report   = flag.String("report", "", "validate and summarize a run-report JSON artifact (from paperbench -report) and exit; non-zero on schema violations")
+		ckptPath = flag.String("ckpt", "", "validate and summarize a checkpoint file (or the newest in a directory) and exit; non-zero on corruption")
 	)
 	flag.Parse()
+
+	if *ckptPath != "" {
+		if err := renderCheckpoint(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *tourn != "" {
 		if err := renderTournament(*tourn); err != nil {
@@ -129,6 +144,49 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// renderCheckpoint validates a checkpoint (magic, CRC, schema) and
+// prints its header — the fast way to answer "what run is this, how far
+// along, and is the file intact" before resuming from it.
+func renderCheckpoint(path string) error {
+	file, err := ckpt.Latest(path)
+	if err != nil {
+		return err
+	}
+	snap, err := ckpt.Load(file)
+	if err != nil {
+		return err
+	}
+	var s core.Scenario
+	if err := json.Unmarshal(snap.Scenario, &s); err != nil {
+		return fmt.Errorf("%s: scenario: %w", file, err)
+	}
+	backend := snap.Backend
+	if backend == "" {
+		backend = "(cc off)"
+	}
+	fmt.Printf("checkpoint: %s (version %d, CRC ok)\n", file, snap.Version)
+	fmt.Printf("  scenario : %s — radix %d, seed %d, backend %s\n", s.Name, s.Radix, s.Seed, backend)
+	fmt.Printf("  clock    : t=%v, next seq %d, %d events processed\n",
+		snap.Kernel.Now, snap.Kernel.Seq, snap.Kernel.Processed)
+	kinds := map[string]int{}
+	for _, e := range snap.Events {
+		kinds[e.Kind]++
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Printf("  pending  : %d events, %d packets in custody\n", len(snap.Events), len(snap.Pkts))
+	for _, k := range names {
+		fmt.Printf("             %-10s %d\n", k, kinds[k])
+	}
+	if d := snap.Digest; d != nil {
+		fmt.Printf("  digest   : %016x after %d records\n", d.Sum, d.Records)
+	}
+	return nil
 }
 
 // renderTournament reads a tournament JSON artifact and prints its

@@ -9,6 +9,8 @@
 //	ibccsim -radix 12 -ctree                     # print the congestion trees
 //	ibccsim -chrome-trace run.trace              # flight recording for Perfetto
 //	ibccsim -faults plan.json -check             # inject a fault plan, audited
+//	ibccsim -ckpt-every 1ms -ckpt-dir ckpts/     # rolling crash-safe checkpoints
+//	ibccsim -resume-from ckpts/                  # continue from the newest one
 //
 // With -seeds N > 1 the scenario runs once per seed (seed, seed+1, ...)
 // fanned out over -jobs workers, and the mean rates with 95% confidence
@@ -16,6 +18,12 @@
 // worker count. With -out every run's result is persisted as a
 // fingerprint-keyed JSON artifact, and multi-seed runs resume from
 // matching artifacts.
+//
+// With -ckpt-every a single run writes a rolling series of crash-safe
+// checkpoints (atomic rename + fsync + CRC), and -resume-from continues
+// a run from a checkpoint file (or the newest one in a directory) with a
+// trajectory byte-identical to never having stopped. Scenario flags are
+// ignored on resume — the checkpoint carries the scenario.
 package main
 
 import (
@@ -57,6 +65,10 @@ func main() {
 		checkInv = flag.Bool("check", false, "run under the runtime invariant checker; exit non-zero on violations")
 		faults   = flag.String("faults", "", "JSON fault plan: inject link faults and wire loss from this file")
 		telem    = flag.Bool("telemetry", false, "attach the in-sim telemetry sampler and print per-class rates, message-completion percentiles and the hottest ports")
+		ckEvery  = flag.Duration("ckpt-every", 0, "write a crash-safe checkpoint every this much simulated time (0 = off)")
+		ckDir    = flag.String("ckpt-dir", "checkpoints", "directory for the -ckpt-every rolling series")
+		ckKeep   = flag.Int("ckpt-keep", 3, "checkpoints to keep in the -ckpt-every rolling series")
+		resume   = flag.String("resume-from", "", "continue from a checkpoint file, or the newest checkpoint in a directory; scenario flags are ignored")
 	)
 	flag.Parse()
 
@@ -69,6 +81,28 @@ func main() {
 	} {
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+	if *ckEvery > 0 {
+		if *numSeeds > 1 {
+			log.Fatal("-ckpt-every checkpoints a single run; use -seeds 1")
+		}
+		if *checkInv {
+			log.Fatal("-ckpt-every and -check both drive the run loop; pick one")
+		}
+		if err := cliflag.Positive("-ckpt-keep", *ckKeep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *resume != "" {
+		if *numSeeds > 1 {
+			log.Fatal("-resume-from continues a single run; use -seeds 1")
+		}
+		if *faults != "" {
+			log.Fatal("-resume-from: the checkpoint already carries the fault plan; drop -faults")
+		}
+		if *traceCSV != "" || *events != "" || *chrome != "" || *ctree || *telem || *checkInv {
+			log.Fatal("-resume-from: instrumentation attaches at build time; drop -trace/-events/-chrome-trace/-ctree/-telemetry/-check")
 		}
 	}
 
@@ -113,8 +147,18 @@ func main() {
 	}
 
 	start := time.Now()
-	inst, err := ibcc.Build(s)
-	if err != nil {
+	var inst *ibcc.Instance
+	var err error
+	if *resume != "" {
+		if inst, err = ibcc.RestoreFile(*resume); err != nil {
+			log.Fatal(err)
+		}
+		s = inst.Scenario
+		if !*quiet {
+			from, _ := ibcc.LatestCheckpoint(*resume)
+			fmt.Printf("resume   : %s (%s)\n", from, s.Name)
+		}
+	} else if inst, err = ibcc.Build(s); err != nil {
 		log.Fatal(err)
 	}
 	var rec *ibcc.TraceRecorder
@@ -151,7 +195,24 @@ func main() {
 	if *checkInv {
 		ck = inst.Check(ibcc.CheckOpts{Diagnostics: os.Stderr})
 	}
-	res := inst.Execute()
+	var res *ibcc.Result
+	if *ckEvery > 0 {
+		res, err = inst.ExecuteWithCheckpoints(ibcc.CkptOpts{
+			Every: ibcc.Duration(ckEvery.Nanoseconds()) * ibcc.Nanosecond,
+			Dir:   *ckDir,
+			Keep:  *ckKeep,
+			OnSave: func(path string, at ibcc.Time) {
+				if !*quiet {
+					fmt.Printf("ckpt     : %s (t=%v)\n", path, at)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res = inst.Execute()
+	}
 	elapsed := time.Since(start)
 
 	if ob != nil {

@@ -20,6 +20,13 @@
 //	paperbench -serve :8080                     # live telemetry dashboard while the sweep runs
 //	paperbench -report run.json                 # unified run-report artifact (validate with cctinspect -report)
 //	paperbench -progress-jsonl                  # machine-readable progress lines on stderr
+//	paperbench -out results/                    # persist + resume via JSON artifacts
+//	paperbench -resume-from results/            # resume an interrupted run (reads its manifest)
+//
+// SIGINT/SIGTERM drain the run gracefully: in-flight simulations finish,
+// completed results stay in the artifact store, a resumable manifest is
+// flushed next to them, the final telemetry snapshot lands in -report,
+// and the dashboard server shuts down cleanly.
 //
 // Independent simulations fan out across -jobs workers (0 = one per
 // CPU); the experiment harness guarantees the printed tables and
@@ -34,14 +41,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	ibcc "repro"
@@ -54,6 +66,48 @@ type tally struct {
 	sims   int
 	events uint64
 	cached int
+}
+
+// drainRecorder accumulates every completed simulation of the run so a
+// graceful SIGINT/SIGTERM drain can flush a resumable manifest next to
+// the artifacts.
+type drainRecorder struct {
+	mu      sync.Mutex
+	jobs    []ibcc.Job
+	results []ibcc.JobResult
+	total   int
+}
+
+func (d *drainRecorder) addTotal(n int) {
+	d.mu.Lock()
+	d.total += n
+	d.mu.Unlock()
+}
+
+func (d *drainRecorder) observe(s ibcc.Scenario, r *ibcc.Result, cached bool) {
+	d.mu.Lock()
+	d.jobs = append(d.jobs, ibcc.Job{Name: s.Name, Scenario: s})
+	d.results = append(d.results, ibcc.JobResult{Result: r, Cached: cached})
+	d.mu.Unlock()
+}
+
+// manifest writes the drain manifest into the store (nil-store no-op).
+// The sweep drivers don't expose their full job lists, so the pending
+// count is derived from the declared totals rather than enumerated.
+func (d *drainRecorder) manifest(st *ibcc.ArtifactStore) {
+	if st == nil {
+		return
+	}
+	d.mu.Lock()
+	m := ibcc.BuildSweepManifest(d.jobs, d.results, true)
+	m.Total = d.total
+	m.NumPending = d.total - m.NumDone
+	d.mu.Unlock()
+	if path, err := st.SaveManifest(m); err != nil {
+		log.Print(err)
+	} else {
+		log.Printf("drain: manifest -> %s (%d done, ~%d pending)", path, m.NumDone, m.NumPending)
+	}
 }
 
 func main() {
@@ -88,6 +142,7 @@ func main() {
 		sprobe   = flag.Bool("serve-probe", false, "with -serve: fetch and validate /metrics.json mid-sweep and again after it (CI smoke); exit non-zero on failure")
 		report   = flag.String("report", "", "write the unified run-report JSON artifact (sweep stats, telemetry aggregates, mode payload, kernel-bench trend) to this file")
 		progJSON = flag.Bool("progress-jsonl", false, "machine-readable progress: one JSON line per completed simulation on stderr instead of the status line")
+		resume   = flag.String("resume-from", "", "artifact directory of an interrupted run: report its manifest and resume from its artifacts (same as -out, plus the manifest summary)")
 	)
 	flag.Parse()
 
@@ -155,24 +210,49 @@ func main() {
 		workers = ibcc.WorkersAll
 	}
 
+	// SIGINT/SIGTERM cancel the sweep context: dispatch stops, in-flight
+	// simulations finish, and the fatal path below drains gracefully.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	tel, err := newLiveTelemetry(*serve, *sprobe, *report)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tel.close()
 
+	// fatal exits on a sweep error; an interrupt additionally flushes
+	// the final telemetry snapshot into the report and shuts the
+	// dashboard down before exiting non-zero.
+	fatal := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			tel.drain(base.Name, *radix, *seeds)
+			log.Fatal("interrupted — completed results are saved; re-run with -resume-from to continue")
+		}
+		log.Fatal(err)
+	}
+
 	if *degrade != "" {
-		if err := runDegradation(base, *degrade, *intens, *seeds, workers, *checkInv, tel); err != nil {
-			log.Fatal(err)
+		if err := runDegradation(ctx, base, *degrade, *intens, *seeds, workers, *checkInv, tel); err != nil {
+			fatal(err)
 		}
 		return
 	}
 
 	if *tourn != "" {
-		if err := runTournament(base, *tourn, *intens, *seeds, workers, *checkInv, ccNames, tel); err != nil {
-			log.Fatal(err)
+		if err := runTournament(ctx, base, *tourn, *intens, *seeds, workers, *checkInv, ccNames, tel); err != nil {
+			fatal(err)
 		}
 		return
+	}
+
+	if *resume != "" {
+		switch {
+		case *out == "":
+			*out = *resume
+		case *out != *resume:
+			log.Fatal("-resume-from and -out name different directories")
+		}
 	}
 	var store *ibcc.ArtifactStore
 	if *out != "" {
@@ -181,6 +261,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *resume != "" {
+		if m, ok, err := store.ReadManifest(); err != nil {
+			log.Print(err)
+		} else if ok {
+			log.Printf("resume: manifest of %s — %d done, %d pending, %d failed, %d quarantined",
+				m.WrittenAt, m.NumDone, m.NumPending, m.NumFailed, m.NumQuarant)
+		} else {
+			log.Printf("resume: no manifest in %s; resuming from %d artifacts", *out, store.Len())
+		}
+	}
+	drain := &drainRecorder{}
 
 	// experiment runs one experiment's sweeps through the harness with
 	// shared worker/artifact options, then reports its cost: the
@@ -189,9 +280,10 @@ func main() {
 	experiment := func(name string, totalSims int, fn func(o ibcc.RunOpts) error) {
 		tl := &tally{}
 		var prog *ibcc.Progress
-		o := ibcc.RunOpts{Workers: workers, Check: *checkInv}
+		o := ibcc.RunOpts{Ctx: ctx, Workers: workers, Check: *checkInv}
 		tel.apply(&o)
 		tel.addTotal(totalSims)
+		drain.addTotal(totalSims)
 		if store != nil {
 			o.Lookup = store.Lookup
 		}
@@ -207,6 +299,7 @@ func main() {
 		}
 		o.OnResult = func(s ibcc.Scenario, r *ibcc.Result, cached bool) {
 			save(s, r, cached)
+			drain.observe(s, r, cached)
 			tl.sims++
 			tl.events += r.Events
 			if cached {
@@ -223,7 +316,10 @@ func main() {
 			prog.Finish()
 		}
 		if err != nil {
-			log.Fatal(err)
+			if errors.Is(err, context.Canceled) {
+				drain.manifest(store)
+			}
+			fatal(err)
 		}
 		wall := time.Since(start)
 		line := fmt.Sprintf("experiment %s: %d sims, %d simulated events, %v wall",
@@ -349,14 +445,14 @@ func main() {
 // printed and written as a JSON artifact. Intensity 0 is the unfaulted
 // baseline (a zero plan is treated as absent), so the curve starts at
 // the healthy operating point.
-func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, tel *liveTelemetry) error {
+func runDegradation(ctx context.Context, base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, tel *liveTelemetry) error {
 	ins, err := parseIntensities(intensities)
 	if err != nil {
 		return err
 	}
 	seedList := seedsFrom(base.Seed, seeds)
 
-	o := ibcc.RunOpts{Workers: workers, Check: checked}
+	o := ibcc.RunOpts{Ctx: ctx, Workers: workers, Check: checked}
 	tel.apply(&o)
 	tel.addTotal(len(ins) * len(seedList) * 2)
 	o.OnResult = func(ibcc.Scenario, *ibcc.Result, bool) { tel.midProbe() }
@@ -389,7 +485,7 @@ func runDegradation(base ibcc.Scenario, path, intensities string, seeds, workers
 // runs the scenario corpus across the fault-intensity grid, each cell
 // is scored and ranked, and the table is printed and written as a JSON
 // artifact (render it again later with cctinspect -tournament).
-func runTournament(base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, backends []string, tel *liveTelemetry) error {
+func runTournament(ctx context.Context, base ibcc.Scenario, path, intensities string, seeds, workers int, checked bool, backends []string, tel *liveTelemetry) error {
 	ins, err := parseIntensities(intensities)
 	if err != nil {
 		return err
@@ -399,7 +495,7 @@ func runTournament(base ibcc.Scenario, path, intensities string, seeds, workers 
 	if nBackends == 0 {
 		nBackends = len(ibcc.CCBackends())
 	}
-	o := ibcc.RunOpts{Workers: workers, Check: checked}
+	o := ibcc.RunOpts{Ctx: ctx, Workers: workers, Check: checked}
 	tel.apply(&o)
 	tel.addTotal(len(ibcc.DefaultTournamentCorpus()) * len(ins) * len(seedList) * nBackends)
 

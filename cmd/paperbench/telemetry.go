@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -139,6 +140,25 @@ func (t *liveTelemetry) finish(kind, name string, radix, seeds int, payload []by
 		}
 		fmt.Printf("serve-probe: /metrics.json ok (http://%s/)\n", t.addr)
 	}
+	return t.writeReport(kind, name, radix, seeds, payload)
+}
+
+// drain is the SIGINT/SIGTERM path: flush the final metrics snapshot
+// into the report (when -report is set) so an interrupted sweep still
+// leaves its telemetry behind, then shut the dashboard down gracefully.
+// Best-effort by design — drain runs on the way to a non-zero exit.
+func (t *liveTelemetry) drain(name string, radix, seeds int) {
+	if t.hub != nil {
+		if err := t.writeReport(ibcc.ReportExperiments, name, radix, seeds, nil); err != nil {
+			log.Print(err)
+		}
+	}
+	t.close()
+}
+
+// writeReport writes the unified run report from the current tracker
+// and hub state (no-op without -report).
+func (t *liveTelemetry) writeReport(kind, name string, radix, seeds int, payload []byte) error {
 	if t.report == "" {
 		return nil
 	}
@@ -169,9 +189,15 @@ func (t *liveTelemetry) finish(kind, name string, radix, seeds int, payload []by
 	return nil
 }
 
-// close shuts the dashboard server down.
+// close shuts the dashboard server down gracefully, giving an in-flight
+// dashboard poll a moment to finish.
 func (t *liveTelemetry) close() {
-	if t.srv != nil {
+	if t.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := t.srv.Shutdown(ctx); err != nil {
 		t.srv.Close()
 	}
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The acceptance oracle of checkpoint/restore: run a scenario straight
+// through with the trajectory digest attached, then run it again but
+// "crash" mid-flight — checkpoint, discard the instance, restore from
+// the bytes — and compare complete KernelSignatures. Byte-identical
+// digests over the full event stream mean the continuation is
+// indistinguishable from never having stopped.
+
+func ckptSig(dig *obs.Digest, res *Result) KernelSignature {
+	return KernelSignature{
+		Digest:          dig.Sum(),
+		Records:         dig.Records(),
+		Events:          res.Events,
+		HotGbps:         res.Summary.HotspotAvgGbps,
+		NonHotGbps:      res.Summary.NonHotspotAvgGbps,
+		AllGbps:         res.Summary.AllAvgGbps,
+		TotalGbps:       res.Summary.TotalGbps,
+		FECNMarked:      res.CCStats.FECNMarked,
+		BECNReceived:    res.CCStats.BECNReceived,
+		CNPSent:         res.CCStats.CNPSent,
+		ACKSent:         res.CCStats.ACKSent,
+		TimerDecrements: res.CCStats.TimerDecrements,
+		MaxCCTI:         res.CCStats.MaxCCTI,
+	}
+}
+
+// straightSig runs s to completion with a digest attached.
+func straightSig(t *testing.T, s Scenario) KernelSignature {
+	t.Helper()
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := in.AttachDigest()
+	res := in.Execute()
+	return ckptSig(dig, res)
+}
+
+// resumedSig runs s until cut, checkpoints, abandons the instance, and
+// finishes the run on the restored copy.
+func resumedSig(t *testing.T, s Scenario, cut sim.Time) KernelSignature {
+	t.Helper()
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.AttachDigest()
+	in.executed = true
+	in.start()
+	in.Net.Sim().RunUntil(cut)
+	var buf bytes.Buffer
+	if err := in.Checkpoint(&buf); err != nil {
+		t.Fatalf("checkpoint at %v: %v", cut, err)
+	}
+	re, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !re.Restored() {
+		t.Fatal("restored instance not marked restored")
+	}
+	if re.dig == nil {
+		t.Fatal("restored instance lost the trajectory digest")
+	}
+	res := re.Execute()
+	return ckptSig(re.dig, res)
+}
+
+func requireIdentical(t *testing.T, name string, straight, resumed KernelSignature) {
+	t.Helper()
+	if straight.Records == 0 {
+		t.Fatalf("%s: empty event stream; the digest comparison would prove nothing", name)
+	}
+	if straight != resumed {
+		d := &DiffReport{Wheel: straight, Ref: resumed}
+		t.Errorf("%s: continuation diverges from uninterrupted run:\n  %s",
+			name, strings.Join(d.Mismatches(), "\n  "))
+	}
+}
+
+// TestCheckpointRestoreContinuation covers the Table II corpus at radix
+// 8 (CC on/off, hotspots on/off, silent C nodes) with cuts both before
+// and after the warmup boundary, so both a pending and a fired metrics
+// snapshot round-trip.
+func TestCheckpointRestoreContinuation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint corpus is not short")
+	}
+	base := faultBase(1)
+	cuts := []sim.Time{
+		sim.Time(0).Add(100 * sim.Microsecond), // inside warmup
+		sim.Time(0).Add(350 * sim.Microsecond), // inside measurement
+	}
+	for _, s := range TableIIScenarios(base) {
+		straight := straightSig(t, s)
+		for _, cut := range cuts {
+			requireIdentical(t, s.Name, straight, resumedSig(t, s, cut))
+		}
+	}
+}
+
+// TestCheckpointRestoreVariants covers the model features whose state
+// lives outside the Table II defaults: moving hotspots, SL-level
+// throttling, the separate hotspot VL, and the rcm backend.
+func TestCheckpointRestoreVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint variants are not short")
+	}
+	cut := sim.Time(0).Add(350 * sim.Microsecond)
+
+	moving := faultBase(2)
+	moving.Name = "ckpt moving hotspots"
+	moving.HotspotLifetime = 150 * sim.Microsecond
+
+	sl := faultBase(3)
+	sl.Name = "ckpt SL-level throttling"
+	sl.CC.SLLevel = true
+
+	vl := faultBase(4)
+	vl.Name = "ckpt separate hotspot VL"
+	vl.SeparateHotspotVL = true
+
+	rcm := faultBase(5)
+	rcm.Name = "ckpt rcm backend"
+	rcm.Backend = "rcm"
+
+	windy := faultBase(6)
+	windy.Name = "ckpt windy B=25% p=60"
+	windy.FracBPct = 25
+	windy.PPercent = 60
+
+	for _, s := range []Scenario{moving, sl, vl, rcm, windy} {
+		requireIdentical(t, s.Name, straightSig(t, s), resumedSig(t, s, cut))
+	}
+}
+
+// TestCheckpointRestoreFaulted cuts through the middle of an active
+// fault plan, so overlapping link-down depths, in-flight degrade
+// factors, pending transition events, the sample cursor and all five
+// drop-RNG stream positions must survive the round trip.
+func TestCheckpointRestoreFaulted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faulted checkpoint runs are not short")
+	}
+	s := faultBase(7)
+	s.Faults = synthFor(t, &s, 77, 0.7)
+	s.Name = "ckpt faulted"
+	straight := straightSig(t, s)
+	for _, cut := range []sim.Time{
+		sim.Time(0).Add(150 * sim.Microsecond),
+		sim.Time(0).Add(300 * sim.Microsecond),
+		sim.Time(0).Add(450 * sim.Microsecond),
+	} {
+		requireIdentical(t, s.Name, straight, resumedSig(t, s, cut))
+	}
+}
+
+// TestExecuteWithCheckpoints: the cadence-stepped run produces the same
+// result as a plain one, writes a bounded rolling series, and resuming
+// from the newest file on disk completes to the identical signature.
+func TestExecuteWithCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cadence checkpoint run is not short")
+	}
+	s := faultBase(8)
+	s.Name = "ckpt cadence"
+	straight := straightSig(t, s)
+
+	dir := t.TempDir()
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.AttachDigest()
+	var saves int
+	res, err := in.ExecuteWithCheckpoints(CkptOpts{
+		Every: 100 * sim.Microsecond,
+		Dir:   dir,
+		Keep:  2,
+		OnSave: func(path string, at sim.Time) {
+			saves++
+			if filepath.Dir(path) != dir {
+				t.Errorf("checkpoint outside dir: %s", path)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "cadence run", straight, ckptSig(in.dig, res))
+	// 600µs window at 100µs cadence: boundaries 100..500 (600 == end is
+	// not checkpointed).
+	if saves != 5 {
+		t.Errorf("wrote %d checkpoints, want 5", saves)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Errorf("rolling series kept %d files, want 2", len(ents))
+	}
+
+	// Resume from the newest on-disk checkpoint (t=500µs) and finish.
+	re, err := RestoreFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "resume from disk", straight, ckptSig(re.dig, re.Execute()))
+}
+
+// TestCheckpointRejectsChecker: cadence checkpointing and the invariant
+// checker both want the run loop; combining them must fail loudly.
+func TestCheckpointRejectsChecker(t *testing.T) {
+	s := Default(4)
+	s.NumHotspots = 2
+	s.Warmup = 50 * sim.Microsecond
+	s.Measure = 100 * sim.Microsecond
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Check(CheckOpts{})
+	if _, err := in.ExecuteWithCheckpoints(CkptOpts{Every: 10 * sim.Microsecond, Dir: t.TempDir()}); err == nil {
+		t.Fatal("checker + cadence checkpointing accepted")
+	}
+}

@@ -72,6 +72,13 @@ type Instance struct {
 
 	collector *metrics.Collector
 	executed  bool
+	// restored marks an instance rebuilt from a checkpoint: its pending
+	// events came from the snapshot, so Execute must not Start the
+	// fabric again.
+	restored bool
+	// dig is the optional trajectory digest riding the run (AttachDigest
+	// or a restored snapshot's digest state).
+	dig *obs.Digest
 	// sources holds the generators in LID order (nil entries for idle
 	// nodes); the invariant checker's custody census walks them.
 	sources []*traffic.Generator
@@ -212,14 +219,30 @@ func (in *Instance) Execute() *Result {
 	in.executed = true
 	s := &in.Scenario
 	simr := in.Net.Sim()
-	in.Net.Start()
+	in.start()
 	end := sim.Time(0).Add(s.Warmup + s.Measure)
 	if in.checker != nil {
 		in.checker.Run(end)
 	} else {
 		simr.RunUntil(end)
 	}
+	return in.reduce()
+}
 
+// start kicks the fabric's sources exactly once. A restored instance
+// skips the kick: its HCA wake/tx events were rebuilt from the
+// checkpoint, and starting again would double-schedule them.
+func (in *Instance) start() {
+	if !in.restored {
+		in.Net.Start()
+	}
+}
+
+// reduce turns the run's counters into a Result once the simulation has
+// reached the end of the measurement window.
+func (in *Instance) reduce() *Result {
+	s := &in.Scenario
+	simr := in.Net.Sim()
 	rates := in.collector.Rates()
 	res := &Result{
 		Name:     s.Name,

@@ -19,6 +19,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -47,15 +48,36 @@ type JobResult struct {
 	Job Job
 	// Result is the simulation outcome; nil when Err is set.
 	Result *core.Result
-	// Err is the job's failure: a scenario/build error, or a
-	// *par.PanicError when the simulation crashed. One job's error
-	// never aborts the rest of the batch.
+	// Err is the job's failure: a scenario/build error, a
+	// *par.PanicError when the simulation crashed, or a *TimeoutError
+	// when it outran the watchdog. One job's error never aborts the
+	// rest of the batch.
 	Err error
-	// Elapsed is the job's wall-clock time (zero for cache hits).
+	// Elapsed is the job's wall-clock time (zero for cache hits,
+	// cumulative over retries).
 	Elapsed time.Duration
 	// Cached reports that the result was loaded from the artifact
 	// store instead of being simulated.
 	Cached bool
+	// Attempts is how many times the job ran (0 for cache hits).
+	Attempts int
+	// Quarantined reports that the job exhausted its retries and a
+	// quarantine report was filed; the sweep completed without it.
+	Quarantined bool
+}
+
+// TimeoutError is the failure of a job whose single attempt outran the
+// runner's per-job watchdog. The abandoned attempt's goroutine is left
+// to finish in the background (a deterministic simulation cannot be
+// preempted mid-event); its eventual result is discarded.
+type TimeoutError struct {
+	// Name labels the job; Limit is the watchdog deadline it missed.
+	Name  string
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("exp: job %q exceeded the %v watchdog", e.Name, e.Limit)
 }
 
 // Runner executes job batches on a worker pool. The zero value runs
@@ -75,10 +97,28 @@ type Runner struct {
 	// live sweep dashboard; Run also declares the batch total on it.
 	Spans *telemetry.Tracker
 
+	// Timeout, when positive, is the per-job wall-clock watchdog: an
+	// attempt still running after this long is abandoned and counted as
+	// failed (then retried like a panic).
+	Timeout time.Duration
+	// Retries is how many times a crashed or timed-out attempt is
+	// re-run before the job is quarantined. Deterministic simulations
+	// make the re-run exact — same fingerprint, same trajectory — so a
+	// retry only helps against host-level trouble (OOM kill pressure,
+	// watchdog near-misses), which is precisely the robustness target.
+	// Build/validation errors are never retried: they are properties of
+	// the scenario, not the host.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per
+	// subsequent retry (0 retries immediately).
+	Backoff time.Duration
+
 	// mu serializes Reporter calls from the pool goroutines.
 	mu sync.Mutex
 	// runFn substitutes core.Run in tests.
 	runFn func(core.Scenario) (*core.Result, error)
+	// sleepFn substitutes the backoff sleep in tests.
+	sleepFn func(time.Duration)
 }
 
 // Run executes the jobs and returns their results in submission order.
@@ -111,13 +151,20 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 				results[i] = JobResult{Job: jobs[i], Err: err}
 			}
 		}
+		// Graceful drain: leave a resumable record of what finished and
+		// what didn't. Best-effort — the cancellation itself is the
+		// batch's outcome.
+		if r.Store != nil {
+			_, _ = r.Store.WriteManifest(jobs, results, true)
+		}
 		return results, err
 	}
 	return results, nil
 }
 
-// runJob executes one job with cache lookup, panic recovery and
-// artifact persistence; worker is the pool index running it.
+// runJob executes one job with cache lookup, panic/timeout recovery,
+// bounded deterministic retry, quarantine and artifact persistence;
+// worker is the pool index running it.
 func (r *Runner) runJob(job Job, worker int) JobResult {
 	if job.Name == "" {
 		job.Name = job.Scenario.Name
@@ -132,22 +179,48 @@ func (r *Runner) runJob(job Job, worker int) JobResult {
 			return res
 		}
 	}
-	start := time.Now()
-	func() {
-		defer func() {
-			if v := recover(); v != nil {
-				res.Err = &par.PanicError{Value: v, Stack: debug.Stack()}
-			}
-		}()
-		run := r.runFn
-		if run == nil {
-			run = core.Run
+
+	attempts := 1 + r.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	for {
+		start := time.Now()
+		res.Result, res.Err = r.attempt(job)
+		res.Elapsed += time.Since(start)
+		res.Attempts++
+		if res.Err == nil || !retryable(res.Err) || res.Attempts >= attempts {
+			break
 		}
-		res.Result, res.Err = run(job.Scenario)
-	}()
-	res.Elapsed = time.Since(start)
+		// Close the failed attempt's span — the tracker's re-Begin of
+		// the same name is what counts it as a retry — back off, and go
+		// again.
+		r.Spans.End(span, 0, false, res.Err.Error())
+		if r.Backoff > 0 {
+			sleep := r.sleepFn
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(r.Backoff << (res.Attempts - 1))
+		}
+		span = r.Spans.Begin(job.Name, worker)
+	}
+
 	if res.Err != nil {
+		exhausted := retryable(res.Err)
 		res.Err = fmt.Errorf("exp: job %q: %w", job.Name, res.Err)
+		if exhausted {
+			// The job crashed or hung on every attempt: file it in
+			// quarantine so the sweep completes around the gap and the
+			// failure stays reproducible.
+			res.Quarantined = true
+			r.Spans.Quarantined(job.Name)
+			if r.Store != nil {
+				if _, qerr := r.Store.QuarantineJob(job, res.Err, res.Attempts); qerr != nil {
+					res.Err = fmt.Errorf("%w (and quarantine report failed: %v)", res.Err, qerr)
+				}
+			}
+		}
 	} else if r.Store != nil {
 		if err := r.Store.Save(job, res.Result, res.Elapsed); err != nil {
 			res.Err = fmt.Errorf("exp: job %q: artifact: %w", job.Name, err)
@@ -164,6 +237,54 @@ func (r *Runner) runJob(job Job, worker int) JobResult {
 	r.Spans.End(span, events, false, errText)
 	r.report(res)
 	return res
+}
+
+// attempt runs the simulation once, converting a panic into a
+// *par.PanicError and enforcing the watchdog when one is configured.
+func (r *Runner) attempt(job Job) (*core.Result, error) {
+	run := r.runFn
+	if run == nil {
+		run = core.Run
+	}
+	if r.Timeout <= 0 {
+		return protectRun(run, job.Scenario)
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := protectRun(run, job.Scenario)
+		done <- outcome{res, err}
+	}()
+	timer := time.NewTimer(r.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, &TimeoutError{Name: job.Name, Limit: r.Timeout}
+	}
+}
+
+// protectRun runs one simulation with panic recovery.
+func protectRun(run func(core.Scenario) (*core.Result, error), s core.Scenario) (res *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &par.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return run(s)
+}
+
+// retryable reports whether an attempt's failure is worth re-running:
+// crashes and watchdog timeouts are (host-level trouble can be
+// transient), deterministic scenario/build errors are not.
+func retryable(err error) bool {
+	var pe *par.PanicError
+	var te *TimeoutError
+	return errors.As(err, &pe) || errors.As(err, &te)
 }
 
 func (r *Runner) report(res JobResult) {

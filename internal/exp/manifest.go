@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestName is the filename WriteManifest produces inside the store
+// directory. Store.Len ignores it.
+const ManifestName = "MANIFEST.json"
+
+// ManifestJob is one job's standing in a manifest.
+type ManifestJob struct {
+	// Name labels the job; Fingerprint keys its artifact.
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	// Artifact is the artifact filename relative to the store directory,
+	// present only for completed jobs.
+	Artifact string `json:"artifact,omitempty"`
+	// Cached marks a completed job that was served from the store.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the final failure text for failed and quarantined jobs.
+	Error string `json:"error,omitempty"`
+	// Attempts is how many times the job ran.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// Manifest is the resumable record of an interrupted or finished sweep:
+// which jobs completed (and where their artifacts are), which failed,
+// which were quarantined, and which never ran. A sweep relaunched over
+// the same store skips the Done set via the artifact cache, so the
+// manifest's Pending list is exactly the remaining work.
+type Manifest struct {
+	// WrittenAt is the manifest's creation time (RFC 3339).
+	WrittenAt string `json:"written_at"`
+	// Interrupted marks a manifest flushed by a signal-triggered drain
+	// rather than a completed sweep.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Totals.
+	Total      int `json:"total"`
+	NumDone    int `json:"num_done"`
+	NumPending int `json:"num_pending"`
+	NumFailed  int `json:"num_failed"`
+	NumQuarant int `json:"num_quarantined"`
+	// Job lists, each in submission order.
+	Done        []ManifestJob `json:"done,omitempty"`
+	Pending     []ManifestJob `json:"pending,omitempty"`
+	Failed      []ManifestJob `json:"failed,omitempty"`
+	Quarantined []ManifestJob `json:"quarantined,omitempty"`
+}
+
+// BuildManifest classifies a batch's results. Jobs whose result slot is
+// still zero (skipped by a cancelled context, or the batch never reached
+// them) land in Pending; quarantined jobs are listed separately from
+// other failures because re-running them is known to be futile without a
+// fix. jobs and results are parallel slices as produced by Runner.Run;
+// results may be shorter or hold zero slots.
+func BuildManifest(jobs []Job, results []JobResult, interrupted bool) *Manifest {
+	m := &Manifest{
+		WrittenAt:   time.Now().UTC().Format(time.RFC3339),
+		Interrupted: interrupted,
+		Total:       len(jobs),
+	}
+	for i, job := range jobs {
+		name := job.Name
+		if name == "" {
+			name = job.Scenario.Name
+		}
+		fp := Fingerprint(job.Scenario)
+		mj := ManifestJob{Name: name, Fingerprint: fp}
+		var res JobResult
+		if i < len(results) {
+			res = results[i]
+		}
+		switch {
+		case res.Result != nil && res.Err == nil:
+			mj.Artifact = fp[:16] + ".json"
+			mj.Cached = res.Cached
+			mj.Attempts = res.Attempts
+			m.Done = append(m.Done, mj)
+		case res.Err != nil && res.Quarantined:
+			mj.Error = res.Err.Error()
+			mj.Attempts = res.Attempts
+			m.Quarantined = append(m.Quarantined, mj)
+		case res.Err != nil && res.Attempts > 0:
+			mj.Error = res.Err.Error()
+			mj.Attempts = res.Attempts
+			m.Failed = append(m.Failed, mj)
+		default:
+			// Never ran: no attempts and no result (covers cancellation
+			// errors stamped onto unrun slots).
+			m.Pending = append(m.Pending, mj)
+		}
+	}
+	m.NumDone, m.NumPending = len(m.Done), len(m.Pending)
+	m.NumFailed, m.NumQuarant = len(m.Failed), len(m.Quarantined)
+	return m
+}
+
+// WriteManifest builds the manifest for a batch and persists it
+// crash-safely into the store directory, returning its path. Call it
+// from a graceful drain (after Run returns with a context error) so the
+// partial sweep is resumable, or after a completed sweep as a summary.
+func (st *Store) WriteManifest(jobs []Job, results []JobResult, interrupted bool) (string, error) {
+	return st.SaveManifest(BuildManifest(jobs, results, interrupted))
+}
+
+// SaveManifest persists an already-built manifest crash-safely into the
+// store directory, returning its path.
+func (st *Store) SaveManifest(m *Manifest) (string, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("exp: manifest: %w", err)
+	}
+	path := filepath.Join(st.dir, ManifestName)
+	if err := writeFileAtomic(st.dir, path, ".manifest-*.tmp", append(b, '\n')); err != nil {
+		return "", fmt.Errorf("exp: manifest: %w", err)
+	}
+	return path, nil
+}
+
+// ReadManifest loads a previously written manifest from the store
+// directory; ok is false when none exists.
+func (st *Store) ReadManifest() (*Manifest, bool, error) {
+	b, err := os.ReadFile(filepath.Join(st.dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("exp: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, false, fmt.Errorf("exp: manifest: %w", err)
+	}
+	return &m, true, nil
+}

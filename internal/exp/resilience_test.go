@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/telemetry"
+)
+
+func TestRunnerRetriesPanicsThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	var sleeps []time.Duration
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		if calls.Add(1) < 3 {
+			panic("transient crash")
+		}
+		return &core.Result{Name: s.Name, Events: 7}, nil
+	})
+	r.Retries = 3
+	r.Backoff = time.Millisecond
+	r.sleepFn = func(d time.Duration) { sleeps = append(sleeps, d) }
+	r.Spans = telemetry.NewTracker()
+
+	results, err := r.Run(context.Background(), jobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.Err != nil || res.Result == nil || res.Result.Events != 7 {
+		t.Fatalf("retried job did not recover: %+v", res)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if res.Quarantined {
+		t.Fatal("recovered job marked quarantined")
+	}
+	// Exponential backoff: 1ms before attempt 2, 2ms before attempt 3.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Fatalf("backoff sleeps = %v, want %v", sleeps, want)
+	}
+	st := r.Spans.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("tracker retries = %d, want 2", st.Retries)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("tracker quarantined = %d, want 0", st.Quarantined)
+	}
+	// Two failed attempt spans plus the final success.
+	if st.Failed != 2 || st.Done != 1 {
+		t.Fatalf("tracker failed/done = %d/%d, want 2/1", st.Failed, st.Done)
+	}
+}
+
+func TestRunnerDoesNotRetryScenarioErrors(t *testing.T) {
+	var calls atomic.Int32
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		calls.Add(1)
+		return nil, errors.New("invalid scenario")
+	})
+	r.Retries = 5
+	results, err := r.Run(context.Background(), jobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("deterministic scenario error ran %d times", calls.Load())
+	}
+	if results[0].Attempts != 1 || results[0].Quarantined {
+		t.Fatalf("scenario error result: %+v", results[0])
+	}
+}
+
+func TestRunnerTimeoutWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		<-release
+		return &core.Result{Name: s.Name}, nil
+	})
+	r.Timeout = 5 * time.Millisecond
+	r.Spans = telemetry.NewTracker()
+	results, err := r.Run(context.Background(), jobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	var te *TimeoutError
+	if !errors.As(res.Err, &te) {
+		t.Fatalf("err = %v, want TimeoutError", res.Err)
+	}
+	if te.Limit != r.Timeout || !strings.Contains(res.Err.Error(), "watchdog") {
+		t.Fatalf("timeout error: %v", res.Err)
+	}
+	if !res.Quarantined {
+		t.Fatal("hung job not quarantined")
+	}
+	if st := r.Spans.Stats(); st.Quarantined != 1 {
+		t.Fatalf("tracker quarantined = %d", st.Quarantined)
+	}
+}
+
+func TestRunnerQuarantinesAfterExhaustion(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fakeRun(2, func(s core.Scenario) (*core.Result, error) {
+		if s.Seed == 2 {
+			panic("always crashes")
+		}
+		return &core.Result{Name: s.Name, Events: 1}, nil
+	})
+	r.Retries = 2
+	r.Store = st
+	r.Spans = telemetry.NewTracker()
+	js := jobs(4)
+	results, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned job (index 1, seed 2) is quarantined; the rest finish.
+	for i, res := range results {
+		if i == 1 {
+			var pe *par.PanicError
+			if !errors.As(res.Err, &pe) || !res.Quarantined || res.Attempts != 3 {
+				t.Fatalf("poisoned job: %+v", res)
+			}
+			continue
+		}
+		if res.Err != nil || res.Result == nil {
+			t.Fatalf("job %d poisoned by quarantined sibling: %v", i, res.Err)
+		}
+	}
+	// The quarantine report is on disk and reproducible.
+	fp := Fingerprint(js[1].Scenario)
+	path := filepath.Join(st.QuarantineDir(), fp[:16]+".job.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("quarantine report: %v", err)
+	}
+	if !bytes.Contains(b, []byte("always crashes")) || !bytes.Contains(b, []byte(`"attempts": 3`)) {
+		t.Fatalf("quarantine report content:\n%s", b)
+	}
+	if got := r.Spans.Stats().Quarantined; got != 1 {
+		t.Fatalf("tracker quarantined = %d", got)
+	}
+	// The quarantine dir does not pollute the artifact count.
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d artifacts, want 3", st.Len())
+	}
+}
+
+func TestStoreQuarantinesCorruptArtifact(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupt []string
+	st.OnCorrupt(func(path string) { corrupt = append(corrupt, path) })
+	s := quick(6)
+	fp := Fingerprint(s)
+	if err := os.WriteFile(st.path(fp), []byte("{torn artifa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(s); ok {
+		t.Fatal("torn artifact accepted")
+	}
+	// Moved aside with a reason sidecar, not deleted.
+	moved := filepath.Join(st.QuarantineDir(), filepath.Base(st.path(fp)))
+	if _, err := os.Stat(moved); err != nil {
+		t.Fatalf("corrupt artifact not quarantined: %v", err)
+	}
+	note, err := os.ReadFile(moved + ".reason.json")
+	if err != nil {
+		t.Fatalf("reason sidecar: %v", err)
+	}
+	if !bytes.Contains(note, []byte("invalid JSON")) {
+		t.Fatalf("reason sidecar content: %s", note)
+	}
+	if len(corrupt) != 1 || corrupt[0] != moved {
+		t.Fatalf("onCorrupt observed %v", corrupt)
+	}
+	// The slot is free again: a fresh save round-trips.
+	if err := st.Save(Job{Name: "fresh", Scenario: s}, &core.Result{Name: "fresh", Events: 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Load(s); !ok || got.Events != 3 {
+		t.Fatalf("fresh artifact after quarantine: %v %v", got, ok)
+	}
+}
+
+func TestArtifactCRCDetectsTampering(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quick(6)
+	if err := st.Save(Job{Name: "crc", Scenario: s}, &core.Result{Name: "crc", Events: 9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(Fingerprint(s))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"crc32"`)) {
+		t.Fatalf("saved artifact carries no checksum:\n%s", b)
+	}
+	// A bit flip that keeps the JSON valid: change the stored name.
+	flipped := bytes.Replace(b, []byte(`"name": "crc"`), []byte(`"name": "cra"`), 1)
+	if bytes.Equal(flipped, b) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(s); ok {
+		t.Fatal("tampered artifact passed the checksum")
+	}
+	if _, err := os.Stat(filepath.Join(st.QuarantineDir(), filepath.Base(path))); err != nil {
+		t.Fatalf("tampered artifact not quarantined: %v", err)
+	}
+}
+
+func TestManifestClassifiesAndRoundTrips(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		switch s.Seed {
+		case 2:
+			return nil, errors.New("bad scenario")
+		case 3:
+			panic("poison")
+		}
+		return &core.Result{Name: s.Name, Events: 1}, nil
+	})
+	r.Store = st
+	js := jobs(5)
+	results, err := r.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the drain interrupted before the last job ran.
+	results[4] = JobResult{Job: js[4], Err: context.Canceled}
+
+	path, err := st.WriteManifest(js, results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != ManifestName {
+		t.Fatalf("manifest path: %s", path)
+	}
+	m, ok, err := st.ReadManifest()
+	if err != nil || !ok {
+		t.Fatalf("read manifest: %v %v", ok, err)
+	}
+	if !m.Interrupted || m.Total != 5 {
+		t.Fatalf("manifest header: %+v", m)
+	}
+	if m.NumDone != 2 || m.NumFailed != 1 || m.NumQuarant != 1 || m.NumPending != 1 {
+		t.Fatalf("manifest counts: done=%d failed=%d quarantined=%d pending=%d",
+			m.NumDone, m.NumFailed, m.NumQuarant, m.NumPending)
+	}
+	if m.Done[0].Artifact == "" || m.Done[0].Fingerprint != Fingerprint(js[0].Scenario) {
+		t.Fatalf("done entry: %+v", m.Done[0])
+	}
+	if m.Quarantined[0].Name != "job-2" || !strings.Contains(m.Quarantined[0].Error, "poison") {
+		t.Fatalf("quarantined entry: %+v", m.Quarantined[0])
+	}
+	if m.Pending[0].Name != "job-4" {
+		t.Fatalf("pending entry: %+v", m.Pending[0])
+	}
+	// The manifest does not count as an artifact (3 jobs actually
+	// completed and saved before the pretend interruption).
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d artifacts, want 3", st.Len())
+	}
+	// A missing manifest reads as absent, not an error.
+	st2, _ := NewStore(t.TempDir())
+	if _, ok, err := st2.ReadManifest(); ok || err != nil {
+		t.Fatalf("empty-store manifest: %v %v", ok, err)
+	}
+}
+
+// TestRunnerWritesInterruptedManifestOnCancel proves the graceful-drain
+// contract: a cancelled batch with a store leaves MANIFEST.json behind
+// marking what finished and what is still pending, so a -resume-from
+// run can pick up exactly there.
+func TestRunnerWritesInterruptedManifestOnCancel(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	r := fakeRun(1, func(s core.Scenario) (*core.Result, error) {
+		if done.Add(1) == 2 {
+			// Cancel mid-batch: the two running/finished jobs keep their
+			// results, the rest are skipped.
+			cancel()
+		}
+		return &core.Result{Name: s.Name, Events: 1}, nil
+	})
+	r.Store = st
+
+	results, err := r.Run(ctx, jobs(5))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() err = %v, want context.Canceled", err)
+	}
+	skipped := 0
+	for _, res := range results {
+		if errors.Is(res.Err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation skipped no jobs; test cannot observe a drain")
+	}
+
+	m, ok, err := st.ReadManifest()
+	if err != nil || !ok {
+		t.Fatalf("ReadManifest after cancel: ok=%v err=%v", ok, err)
+	}
+	if !m.Interrupted {
+		t.Error("manifest not marked interrupted")
+	}
+	if m.Total != 5 {
+		t.Errorf("manifest total = %d, want 5", m.Total)
+	}
+	if m.NumPending != skipped {
+		t.Errorf("manifest pending = %d, want %d skipped jobs", m.NumPending, skipped)
+	}
+	if m.NumDone == 0 || m.NumDone != 5-skipped {
+		t.Errorf("manifest done = %d, want %d", m.NumDone, 5-skipped)
+	}
+	// The done entries point at artifacts that actually exist.
+	for _, j := range m.Done {
+		if _, err := os.Stat(filepath.Join(st.Dir(), j.Artifact)); err != nil {
+			t.Errorf("manifest done artifact %s: %v", j.Artifact, err)
+		}
+	}
+}

@@ -5,12 +5,18 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 )
+
+// QuarantineDirName is the subdirectory of an artifact store that
+// receives corrupt artifacts and given-up job reports.
+const QuarantineDirName = "quarantine"
 
 // Artifact is the JSON document the store persists per simulation: the
 // full result, the scenario that produced it, and the fingerprint that
@@ -30,6 +36,41 @@ type Artifact struct {
 	ElapsedNS int64 `json:"elapsed_ns"`
 	// SavedAt is the artifact's creation time (RFC 3339).
 	SavedAt string `json:"saved_at"`
+	// CRC32 is the IEEE checksum of the artifact's canonical JSON with
+	// this field zeroed; Load verifies it, so a torn or bit-flipped
+	// artifact is quarantined instead of silently substituting for a
+	// run. Zero means the artifact predates checksumming.
+	CRC32 uint32 `json:"crc32,omitempty"`
+}
+
+// encode marshals the artifact canonically with its checksum filled in.
+func (a *Artifact) encode() ([]byte, error) {
+	a.CRC32 = 0
+	plain, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	a.CRC32 = crc32.ChecksumIEEE(plain)
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// verify re-derives the canonical checksum and compares. Artifacts
+// written before checksumming (CRC32 == 0) pass.
+func (a *Artifact) verify() error {
+	got := a.CRC32
+	if got == 0 {
+		return nil
+	}
+	a.CRC32 = 0
+	plain, err := json.MarshalIndent(a, "", "  ")
+	a.CRC32 = got
+	if err != nil {
+		return err
+	}
+	if want := crc32.ChecksumIEEE(plain); want != got {
+		return fmt.Errorf("crc %08x, want %08x", got, want)
+	}
+	return nil
 }
 
 // Fingerprint hashes every field of a scenario (via its canonical JSON
@@ -52,6 +93,8 @@ func Fingerprint(s core.Scenario) string {
 // results instead of simulating (see Runner.Store and core.Opts.Lookup).
 type Store struct {
 	dir string
+	// onCorrupt, when set, observes every artifact quarantined by Load.
+	onCorrupt func(path string)
 }
 
 // NewStore opens (creating if needed) an artifact directory.
@@ -65,14 +108,24 @@ func NewStore(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (st *Store) Dir() string { return st.dir }
 
+// QuarantineDir returns the store's quarantine directory (not
+// necessarily existing yet).
+func (st *Store) QuarantineDir() string { return filepath.Join(st.dir, QuarantineDirName) }
+
+// OnCorrupt registers an observer for quarantined-artifact paths (the
+// sweep trackers count them).
+func (st *Store) OnCorrupt(fn func(path string)) { st.onCorrupt = fn }
+
 // path returns the artifact filename for a fingerprint.
 func (st *Store) path(fp string) string {
 	return filepath.Join(st.dir, fp[:16]+".json")
 }
 
-// Save writes the job's artifact atomically (temp file + rename), so a
-// concurrent or interrupted sweep never leaves a truncated artifact
-// behind.
+// Save writes the job's artifact crash-safely: temp file in the store
+// directory, write, fsync the file, rename over the final name, fsync
+// the directory. An interrupted sweep therefore never leaves a torn
+// artifact under the final name, and a completed Save survives a
+// power cut.
 func (st *Store) Save(job Job, r *core.Result, elapsed time.Duration) error {
 	fp := Fingerprint(job.Scenario)
 	name := job.Name
@@ -88,41 +141,129 @@ func (st *Store) Save(job Job, r *core.Result, elapsed time.Duration) error {
 		ElapsedNS:   elapsed.Nanoseconds(),
 		SavedAt:     time.Now().UTC().Format(time.RFC3339),
 	}
-	b, err := json.MarshalIndent(&a, "", "  ")
+	b, err := a.encode()
 	if err != nil {
 		return fmt.Errorf("exp: store: encode %s: %w", name, err)
 	}
-	tmp, err := os.CreateTemp(st.dir, "."+fp[:16]+"-*.tmp")
-	if err != nil {
-		return fmt.Errorf("exp: store: %w", err)
-	}
-	_, werr := tmp.Write(append(b, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("exp: store: write %s: %w", name, firstErr(werr, cerr))
-	}
-	if err := os.Rename(tmp.Name(), st.path(fp)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("exp: store: %w", err)
+	if err := writeFileAtomic(st.dir, st.path(fp), "."+fp[:16]+"-*.tmp", append(b, '\n')); err != nil {
+		return fmt.Errorf("exp: store: %s: %w", name, err)
 	}
 	return nil
 }
 
-// Load returns the stored result for a scenario, if an artifact with a
-// matching fingerprint exists. Corrupt or mismatching artifacts are
-// ignored (the scenario just re-runs).
+// writeFileAtomic is the store's durable-write primitive: temp file in
+// dir, write, fsync, rename to path, fsync dir.
+func writeFileAtomic(dir, path, tmpPattern string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return ckpt.SyncDir(dir)
+}
+
+// Load returns the stored result for a scenario, if a valid artifact
+// with a matching fingerprint exists. A corrupt, truncated or
+// mismatching artifact is moved into the quarantine directory — so the
+// scenario re-runs and the bad file stays inspectable — instead of
+// aborting or being silently trusted.
 func (st *Store) Load(s core.Scenario) (*core.Result, bool) {
 	fp := Fingerprint(s)
-	b, err := os.ReadFile(st.path(fp))
+	path := st.path(fp)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var a Artifact
-	if err := json.Unmarshal(b, &a); err != nil || a.Fingerprint != fp || a.Result == nil {
+	if err := json.Unmarshal(b, &a); err != nil {
+		st.quarantineFile(path, fmt.Sprintf("invalid JSON: %v", err))
+		return nil, false
+	}
+	switch {
+	case a.Fingerprint != fp:
+		st.quarantineFile(path, fmt.Sprintf("fingerprint %s under key %s", a.Fingerprint, fp))
+		return nil, false
+	case a.Result == nil:
+		st.quarantineFile(path, "artifact carries no result")
+		return nil, false
+	}
+	if err := a.verify(); err != nil {
+		st.quarantineFile(path, err.Error())
 		return nil, false
 	}
 	return a.Result, true
+}
+
+// quarantineFile moves a bad artifact aside with a sidecar note saying
+// why. Failures to move are swallowed: quarantine is best-effort
+// protection for the sweep, never a new way to abort it.
+func (st *Store) quarantineFile(path, reason string) {
+	qdir := st.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		return
+	}
+	note := fmt.Sprintf("{\"file\":%q,\"reason\":%q,\"at\":%q}\n",
+		filepath.Base(path), reason, time.Now().UTC().Format(time.RFC3339))
+	_ = os.WriteFile(dst+".reason.json", []byte(note), 0o644)
+	if st.onCorrupt != nil {
+		st.onCorrupt(dst)
+	}
+}
+
+// QuarantineJob records a job the runner gave up on: the scenario, the
+// final error and the attempt count land in the quarantine directory so
+// the sweep's gap is reproducible afterwards. It returns the report
+// path.
+func (st *Store) QuarantineJob(job Job, jobErr error, attempts int) (string, error) {
+	qdir := st.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("exp: quarantine: %w", err)
+	}
+	fp := Fingerprint(job.Scenario)
+	name := job.Name
+	if name == "" {
+		name = job.Scenario.Name
+	}
+	rec := struct {
+		Name        string            `json:"name"`
+		Fingerprint string            `json:"fingerprint"`
+		Tags        map[string]string `json:"tags,omitempty"`
+		Scenario    core.Scenario     `json:"scenario"`
+		Attempts    int               `json:"attempts"`
+		Error       string            `json:"error"`
+		At          string            `json:"at"`
+	}{
+		Name: name, Fingerprint: fp, Tags: job.Tags, Scenario: job.Scenario,
+		Attempts: attempts, Error: jobErr.Error(),
+		At: time.Now().UTC().Format(time.RFC3339),
+	}
+	b, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("exp: quarantine: encode %s: %w", name, err)
+	}
+	path := filepath.Join(qdir, fp[:16]+".job.json")
+	if err := writeFileAtomic(qdir, path, "."+fp[:16]+"-*.tmp", append(b, '\n')); err != nil {
+		return "", fmt.Errorf("exp: quarantine: %s: %w", name, err)
+	}
+	return path, nil
 }
 
 // Lookup adapts Load to the core.Opts.Lookup hook signature.
@@ -151,18 +292,9 @@ func (st *Store) Len() int {
 	}
 	n := 0
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" && e.Name() != ManifestName {
 			n++
 		}
 	}
 	return n
-}
-
-func firstErr(errs ...error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+// Checkpoint action kinds. Link args: B0 = AtSwitch, A0 = Node,
+// A1 = Port; degrade adds F0 = factor, B1 = apply (false = revert).
+const (
+	kindPush    = "fltPush"
+	kindPop     = "fltPop"
+	kindDegrade = "fltDegrade"
+	kindSample  = "fltSample"
+)
+
+// linkDepth is one link's overlap depth.
+type linkDepth struct {
+	Link  LinkRef `json:"link"`
+	Depth int     `json:"depth"`
+}
+
+// linkFactors is one link's stack of in-flight degrade factors, in
+// application order.
+type linkFactors struct {
+	Link    LinkRef   `json:"link"`
+	Factors []float64 `json:"factors"`
+}
+
+// injState is the injector's full mutable state: overlap bookkeeping,
+// stats (including the sample curve), the sample cursor, and the five
+// per-class drop stream positions.
+type injState struct {
+	Depth       []linkDepth   `json:"depth,omitempty"`
+	Factors     []linkFactors `json:"factors,omitempty"`
+	Stats       Stats         `json:"stats"`
+	LastPayload uint64        `json:"last_payload,omitempty"`
+	RNGData     [4]uint64     `json:"rng_data"`
+	RNGFECN     [4]uint64     `json:"rng_fecn"`
+	RNGCNP      [4]uint64     `json:"rng_cnp"`
+	RNGAck      [4]uint64     `json:"rng_ack"`
+	RNGCredit   [4]uint64     `json:"rng_credit"`
+}
+
+func linkLess(a, b LinkRef) bool {
+	if a.AtSwitch != b.AtSwitch {
+		return !a.AtSwitch
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Port < b.Port
+}
+
+// ExportState returns the injector's mutable state as a package-owned
+// JSON blob. Maps are emitted sorted so the blob is deterministic.
+func (in *Injector) ExportState() ([]byte, error) {
+	st := injState{
+		Stats:       in.stats,
+		LastPayload: in.lastPayload,
+		RNGData:     in.rngData.State(),
+		RNGFECN:     in.rngFECN.State(),
+		RNGCNP:      in.rngCNP.State(),
+		RNGAck:      in.rngAck.State(),
+		RNGCredit:   in.rngCredit.State(),
+	}
+	for l, d := range in.depth {
+		if d != 0 {
+			st.Depth = append(st.Depth, linkDepth{Link: l, Depth: d})
+		}
+	}
+	sort.Slice(st.Depth, func(a, b int) bool { return linkLess(st.Depth[a].Link, st.Depth[b].Link) })
+	for l, fs := range in.factor {
+		if len(fs) > 0 {
+			st.Factors = append(st.Factors, linkFactors{Link: l, Factors: fs})
+		}
+	}
+	sort.Slice(st.Factors, func(a, b int) bool { return linkLess(st.Factors[a].Link, st.Factors[b].Link) })
+	return json.Marshal(&st)
+}
+
+// RestoreState overlays an exported blob onto a freshly built injector
+// for the same plan. The fabric's own link state (down flags, slow
+// factors) is restored separately by the fabric layer; here only the
+// injector's bookkeeping and stream positions are overlaid.
+func (in *Injector) RestoreState(blob []byte) error {
+	var st injState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("fault: decoding injector state: %w", err)
+	}
+	in.depth = make(map[LinkRef]int, len(st.Depth))
+	for _, ld := range st.Depth {
+		in.depth[ld.Link] = ld.Depth
+	}
+	in.factor = make(map[LinkRef][]float64, len(st.Factors))
+	for _, lf := range st.Factors {
+		in.factor[lf.Link] = append([]float64(nil), lf.Factors...)
+	}
+	in.stats = st.Stats
+	in.stats.Samples = append([]RateSample(nil), st.Stats.Samples...)
+	in.lastPayload = st.LastPayload
+	in.rngData.SetState(st.RNGData)
+	in.rngFECN.SetState(st.RNGFECN)
+	in.rngCNP.SetState(st.RNGCNP)
+	in.rngAck.SetState(st.RNGAck)
+	in.rngCredit.SetState(st.RNGCredit)
+	return nil
+}
+
+// EncodeAction maps a pending injector-owned action to a checkpoint
+// record; ok is false for foreign actions.
+func (in *Injector) EncodeAction(a sim.Action) (ckpt.EventRecord, bool) {
+	switch t := a.(type) {
+	case *pushAct:
+		if t.in == in {
+			return linkRec(kindPush, t.link), true
+		}
+	case *popAct:
+		if t.in == in {
+			return linkRec(kindPop, t.link), true
+		}
+	case *degradeAct:
+		if t.in == in {
+			rec := linkRec(kindDegrade, t.link)
+			rec.F0 = t.factor
+			rec.B1 = t.on
+			return rec, true
+		}
+	case *sampleAct:
+		if t.in == in {
+			return ckpt.EventRecord{Kind: kindSample}, true
+		}
+	}
+	return ckpt.EventRecord{}, false
+}
+
+func linkRec(kind string, l LinkRef) ckpt.EventRecord {
+	return ckpt.EventRecord{Kind: kind, B0: l.AtSwitch, A0: int64(l.Node), A1: int64(l.Port)}
+}
+
+// DecodeAction rebuilds an action from a record of an injector kind;
+// ok is false for foreign kinds.
+func (in *Injector) DecodeAction(rec ckpt.EventRecord) (sim.Action, func(*sim.Event), bool, error) {
+	link := LinkRef{AtSwitch: rec.B0, Node: int(rec.A0), Port: int(rec.A1)}
+	switch rec.Kind {
+	case kindPush:
+		return &pushAct{in: in, link: link}, nil, true, nil
+	case kindPop:
+		return &popAct{in: in, link: link}, nil, true, nil
+	case kindDegrade:
+		return &degradeAct{in: in, link: link, factor: rec.F0, on: rec.B1}, nil, true, nil
+	case kindSample:
+		return &sampleAct{in: in}, nil, true, nil
+	default:
+		return nil, nil, false, nil
+	}
+}

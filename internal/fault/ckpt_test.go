@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestInjectorStateRoundTrip cuts through the middle of overlapping
+// fault windows and proves the injector's full mutable state — flap
+// overlap depth, the in-flight degrade factor stack, stats, and all
+// five drop-RNG stream positions — survives ExportState/RestoreState
+// exactly (the checkpoint layer's per-package contract).
+func TestInjectorStateRoundTrip(t *testing.T) {
+	flapLink := LinkRef{AtSwitch: true, Node: 0, Port: 0}
+	slowLink := LinkRef{Node: 0}
+	plan := &Plan{
+		Seed:    23,
+		Horizon: sim.Time(2 * sim.Millisecond),
+		Flaps: []Flap{
+			// Two overlapping windows on the same link: depth 2 at the cut.
+			{Link: flapLink, At: sim.Time(10 * sim.Microsecond), Dur: 200 * sim.Microsecond},
+			{Link: flapLink, At: sim.Time(50 * sim.Microsecond), Dur: 200 * sim.Microsecond},
+		},
+		Degrades: []Degrade{
+			// Two degrades in flight on the traffic path at the cut.
+			{Link: slowLink, At: sim.Time(20 * sim.Microsecond), Dur: 300 * sim.Microsecond, Factor: 4},
+			{Link: slowLink, At: sim.Time(40 * sim.Microsecond), Dur: 300 * sim.Microsecond, Factor: 2},
+		},
+		Drop:        DropProbs{Data: 0.3, Credit: 0.2},
+		SampleEvery: 25 * sim.Microsecond,
+	}
+
+	n := buildNet(t)
+	inj, err := NewInjector(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshBlob, err := inj.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.HCA(0).SetSource(&flood{src: 0, dst: 1, remaining: 2000})
+	n.Start()
+	n.Sim().RunUntil(sim.Time(60 * sim.Microsecond))
+
+	blob, err := inj.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st injState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlap depth of the double-flapped link is 2 mid-overlap.
+	foundDepth := false
+	for _, ld := range st.Depth {
+		if ld.Link == flapLink {
+			foundDepth = true
+			if ld.Depth != 2 {
+				t.Errorf("flap overlap depth = %d, want 2", ld.Depth)
+			}
+		}
+	}
+	if !foundDepth {
+		t.Error("exported state lost the flapped link's depth")
+	}
+
+	// Both degrade factors are in flight, in application order.
+	foundFactors := false
+	for _, lf := range st.Factors {
+		if lf.Link == slowLink {
+			foundFactors = true
+			if len(lf.Factors) != 2 || lf.Factors[0] != 4 || lf.Factors[1] != 2 {
+				t.Errorf("degrade factor stack = %v, want [4 2]", lf.Factors)
+			}
+		}
+	}
+	if !foundFactors {
+		t.Error("exported state lost the in-flight degrade factors")
+	}
+
+	// The data drop stream actually advanced from its seeded position
+	// (traffic crossed the lossy path before the cut).
+	var fresh injState
+	if err := json.Unmarshal(freshBlob, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if st.RNGData == fresh.RNGData {
+		t.Error("data drop-RNG position did not advance before the cut")
+	}
+	if st.Stats.DroppedData == 0 {
+		t.Error("no data drops recorded before the cut (drop path not exercised)")
+	}
+	if len(st.Stats.Samples) == 0 {
+		t.Error("no rate samples recorded before the cut")
+	}
+
+	// A freshly built injector for the same plan restores the blob and
+	// exports it back byte-identically: nothing in the state is lost,
+	// reordered, or re-derived differently.
+	n2 := buildNet(t)
+	inj2, err := NewInjector(n2, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := inj2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("restore/export round trip changed the state:\n%s\n%s", blob, blob2)
+	}
+}

@@ -70,28 +70,55 @@ func NewInjector(net *fabric.Network, plan *Plan) (*Injector, error) {
 
 	simr := net.Sim()
 	for _, f := range plan.Flaps {
-		l := f.Link
-		simr.ScheduleAt(f.At, func() { in.push(l) })
-		simr.ScheduleAt(f.At.Add(f.Dur), func() { in.pop(l) })
+		simr.ScheduleActionAt(f.At, &pushAct{in: in, link: f.Link})
+		simr.ScheduleActionAt(f.At.Add(f.Dur), &popAct{in: in, link: f.Link})
 	}
 	for _, s := range plan.Stalls {
-		l := s.Link
-		simr.ScheduleAt(s.At, func() { in.push(l) })
-		simr.ScheduleAt(s.At.Add(s.Dur), func() { in.pop(l) })
+		simr.ScheduleActionAt(s.At, &pushAct{in: in, link: s.Link})
+		simr.ScheduleActionAt(s.At.Add(s.Dur), &popAct{in: in, link: s.Link})
 	}
 	for _, d := range plan.Degrades {
-		l, fac := d.Link, d.Factor
-		simr.ScheduleAt(d.At, func() { in.degrade(l, fac, true) })
-		simr.ScheduleAt(d.At.Add(d.Dur), func() { in.degrade(l, fac, false) })
+		simr.ScheduleActionAt(d.At, &degradeAct{in: in, link: d.Link, factor: d.Factor, on: true})
+		simr.ScheduleActionAt(d.At.Add(d.Dur), &degradeAct{in: in, link: d.Link, factor: d.Factor})
 	}
 	if !plan.Drop.zero() {
 		net.SetDropper(in)
 	}
 	if plan.SampleEvery > 0 && plan.Horizon > 0 {
-		simr.Schedule(plan.SampleEvery, in.sample)
+		simr.ScheduleAction(plan.SampleEvery, &sampleAct{in: in})
 	}
 	return in, nil
 }
+
+// The injector's scheduled transitions are named action types (not
+// closures) so pending ones can be serialized into a checkpoint and
+// rebuilt on restore; see ckpt.go.
+type pushAct struct {
+	in   *Injector
+	link LinkRef
+}
+
+func (a *pushAct) Act() { a.in.push(a.link) }
+
+type popAct struct {
+	in   *Injector
+	link LinkRef
+}
+
+func (a *popAct) Act() { a.in.pop(a.link) }
+
+type degradeAct struct {
+	in     *Injector
+	link   LinkRef
+	factor float64
+	on     bool
+}
+
+func (a *degradeAct) Act() { a.in.degrade(a.link, a.factor, a.on) }
+
+type sampleAct struct{ in *Injector }
+
+func (a *sampleAct) Act() { a.in.sample() }
 
 // push/pop maintain the down-depth of a link across overlapping flaps
 // and stalls; only the 0→1 and 1→0 edges touch the fabric.
@@ -197,7 +224,7 @@ func (in *Injector) sample() {
 		Gbps: float64(delta) * 8 / in.plan.SampleEvery.Seconds() / 1e9,
 	})
 	if next := now.Add(in.plan.SampleEvery); next <= in.plan.Horizon {
-		in.net.Sim().Schedule(in.plan.SampleEvery, in.sample)
+		in.net.Sim().ScheduleAction(in.plan.SampleEvery, &sampleAct{in: in})
 	}
 }
 

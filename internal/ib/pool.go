@@ -92,6 +92,17 @@ func (pp *PacketPool) Live() int {
 	return int(pp.stats.Gets - pp.stats.Puts)
 }
 
+// RestoreStats overwrites the traffic counters with a checkpointed
+// snapshot. Restore rebuilds live packets directly (never through Get),
+// so the books must be installed wholesale for Live() to keep matching
+// the custody census the invariant checker runs.
+func (pp *PacketPool) RestoreStats(st PoolStats) {
+	if pp == nil {
+		return
+	}
+	pp.stats = st
+}
+
 // FreeLen reports how many released packets the pool currently holds.
 func (pp *PacketPool) FreeLen() int {
 	if pp == nil {

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// kindSnap is the warmup-snapshot event's checkpoint kind (no args).
+const kindSnap = "mSnap"
+
+// collState is the collector's mutable state: the warmup counter
+// snapshot, or null when the snapshot has not fired yet (in which case
+// the pending mSnap event carries the rest).
+type collState struct {
+	Base []fabric.HCACounters `json:"base,omitempty"`
+}
+
+// ExportState returns the collector's mutable state as a package-owned
+// JSON blob.
+func (c *Collector) ExportState() ([]byte, error) {
+	return json.Marshal(&collState{Base: c.base})
+}
+
+// RestoreState overlays an exported blob onto a freshly built collector
+// with the same window start.
+func (c *Collector) RestoreState(blob []byte) error {
+	var st collState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("metrics: decoding collector state: %w", err)
+	}
+	if st.Base != nil && len(st.Base) != c.net.NumHosts() {
+		return fmt.Errorf("metrics: snapshot for %d hosts, network has %d", len(st.Base), c.net.NumHosts())
+	}
+	c.base = st.Base
+	return nil
+}
+
+// EncodeAction maps a pending collector-owned action to a checkpoint
+// record; ok is false for foreign actions.
+func (c *Collector) EncodeAction(a sim.Action) (ckpt.EventRecord, bool) {
+	if s, ok := a.(*snapAct); ok && s.c == c {
+		return ckpt.EventRecord{Kind: kindSnap}, true
+	}
+	return ckpt.EventRecord{}, false
+}
+
+// DecodeAction rebuilds an action from a record of the collector's
+// kind; ok is false for foreign kinds.
+func (c *Collector) DecodeAction(rec ckpt.EventRecord) (sim.Action, func(*sim.Event), bool, error) {
+	if rec.Kind != kindSnap {
+		return nil, nil, false, nil
+	}
+	return &snapAct{c: c}, nil, true, nil
+}

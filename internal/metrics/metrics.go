@@ -25,13 +25,20 @@ type Collector struct {
 // network's simulator. Rates are later computed relative to it.
 func NewCollector(net *fabric.Network, startAt sim.Time) *Collector {
 	c := &Collector{net: net, start: startAt}
-	net.Sim().ScheduleAt(startAt, func() {
-		c.base = make([]fabric.HCACounters, net.NumHosts())
-		for i := range c.base {
-			c.base[i] = net.HCA(ib.LID(i)).Counters()
-		}
-	})
+	net.Sim().ScheduleActionAt(startAt, &snapAct{c: c})
 	return c
+}
+
+// snapAct is the warmup-snapshot event, a named action so a pending one
+// can be serialized into a checkpoint and rebuilt on restore.
+type snapAct struct{ c *Collector }
+
+func (a *snapAct) Act() {
+	c := a.c
+	c.base = make([]fabric.HCACounters, c.net.NumHosts())
+	for i := range c.base {
+		c.base[i] = c.net.HCA(ib.LID(i)).Counters()
+	}
 }
 
 // NodeRates are per-node rates in bits per second over the measurement

@@ -1,9 +1,13 @@
 package obs
 
-import (
-	"fmt"
-	"hash"
-	"hash/fnv"
+import "fmt"
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters
+// (hash/fnv's constants, restated here so the running sum is a plain
+// uint64 the checkpoint layer can export and restore).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
 // Digest is an order-sensitive FNV-1a fingerprint over every consumed
@@ -15,21 +19,25 @@ import (
 //
 // The field order and byte packing below are pinned by the committed
 // golden file (internal/core/testdata/determinism_golden.json):
-// changing either invalidates every recorded digest.
+// changing either invalidates every recorded digest. The hash state is
+// held as a raw uint64 rather than a hash.Hash64 — FNV-1a's running
+// state IS its current sum, byte-identical to hash/fnv's output — so a
+// checkpoint can export the exact position (State) and a restored run's
+// digest continues as if never interrupted (RestoreState).
 type Digest struct {
-	h   hash.Hash64
-	n   uint64
-	buf [8]byte
+	h uint64
+	n uint64
 }
 
 // NewDigest returns an empty digest.
-func NewDigest() *Digest { return &Digest{h: fnv.New64a()} }
+func NewDigest() *Digest { return &Digest{h: fnvOffset64} }
 
 func (d *Digest) hash8(v uint64) {
+	h := d.h
 	for i := 0; i < 8; i++ {
-		d.buf[i] = byte(v >> (8 * i))
+		h = (h ^ (v >> (8 * i) & 0xff)) * fnvPrime64
 	}
-	d.h.Write(d.buf[:])
+	d.h = h
 }
 
 func digestBool(b bool) uint64 {
@@ -74,8 +82,19 @@ func (d *Digest) Consume(e Event) {
 func (d *Digest) Records() uint64 { return d.n }
 
 // Sum64 returns the current digest value.
-func (d *Digest) Sum64() uint64 { return d.h.Sum64() }
+func (d *Digest) Sum64() uint64 { return d.h }
 
 // Sum returns the digest in the fixed-width hex form the golden file
 // and the differential reports store.
 func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.Sum64()) }
+
+// State exports the digest's exact position (running sum, record count)
+// for a checkpoint.
+func (d *Digest) State() (sum, records uint64) { return d.h, d.n }
+
+// RestoreState resumes a digest mid-stream from an exported State, so a
+// restored run's fingerprint matches the uninterrupted run's.
+func (d *Digest) RestoreState(sum, records uint64) {
+	d.h = sum
+	d.n = records
+}

@@ -45,6 +45,20 @@ func (r *RNG) Derive(label uint64) *RNG {
 	return NewRNG(splitmix64(&x))
 }
 
+// State returns the generator's current position as its raw xoshiro256**
+// state words, for checkpointing. SetState restores it exactly, so a
+// restored stream continues the identical sequence.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's position with a previously
+// exported State. The all-zero state is invalid for xoshiro and panics.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("sim: restoring all-zero RNG state")
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -76,12 +77,22 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener immediately, dropping in-flight requests.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once, and
+// in-flight requests (a dashboard poll mid-render) get until ctx expires
+// to finish. Nil-server safe, like Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }
 
 // dashboardHTML is the entire dashboard: no external assets, so it works
@@ -142,7 +153,7 @@ function render(m){
  var sw=m.sweep||{},t=m.telemetry||{},lv=t.live;
  var fin=(sw.done||0)+(sw.failed||0),tot=sw.total||0;
  document.getElementById('prog').style.width=(tot?100*fin/tot:0)+'%';
- document.getElementById('progtxt').textContent=fin+'/'+tot+' jobs'+(sw.failed?' ('+sw.failed+' failed)':'')+(sw.cached?' ('+sw.cached+' cached)':'');
+ document.getElementById('progtxt').textContent=fin+'/'+tot+' jobs'+(sw.failed?' ('+sw.failed+' failed)':'')+(sw.cached?' ('+sw.cached+' cached)':'')+(sw.quarantined?' ('+sw.quarantined+' quarantined)':'');
  document.getElementById('eta').textContent=sw.eta_ms?'eta '+ms(sw.eta_ms):'';
  document.getElementById('eps').textContent=sw.events_per_sec?f(sw.events_per_sec/1e6,2)+' M events/s':'';
  document.getElementById('util').textContent=sw.workers?sw.workers+' workers, '+f(100*(sw.worker_util||0),0)+'% busy':'';

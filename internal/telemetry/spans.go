@@ -36,6 +36,12 @@ type SweepStats struct {
 	Cached  int `json:"cached"`
 	Active  int `json:"active"`
 	Retries int `json:"retries"`
+	// Quarantined counts jobs the self-healing runner gave up on after
+	// exhausting retries (they no longer block the sweep).
+	Quarantined int `json:"quarantined,omitempty"`
+	// CorruptArtifacts counts stored artifacts that failed validation
+	// and were moved aside instead of being trusted.
+	CorruptArtifacts int `json:"corrupt_artifacts,omitempty"`
 
 	Events       uint64  `json:"events"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
@@ -70,20 +76,22 @@ type span struct {
 // on a nil *Tracker, so wiring it through the runners costs one nil
 // check per job.
 type Tracker struct {
-	mu      sync.Mutex
-	start   time.Time
-	total   int
-	done    int
-	failed  int
-	cached  int
-	retries int
-	events  uint64
-	nextID  int
-	active  map[int]*span
-	begun   map[string]int
-	jobHist Hist // nanoseconds of wall time
-	busy    map[int]time.Duration
-	recent  []JobSpan
+	mu          sync.Mutex
+	start       time.Time
+	total       int
+	done        int
+	failed      int
+	cached      int
+	retries     int
+	quarantined int
+	corrupt     int
+	events      uint64
+	nextID      int
+	active      map[int]*span
+	begun       map[string]int
+	jobHist     Hist // nanoseconds of wall time
+	busy        map[int]time.Duration
+	recent      []JobSpan
 }
 
 // NewTracker returns an empty tracker; the elapsed clock starts now.
@@ -160,6 +168,28 @@ func (t *Tracker) End(id int, events uint64, cached bool, err string) {
 	}
 }
 
+// Quarantined records that the runner gave up on a job after exhausting
+// its retries and moved it out of the sweep's way.
+func (t *Tracker) Quarantined(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.quarantined++
+	t.mu.Unlock()
+}
+
+// CorruptArtifact records that a stored artifact failed validation and
+// was quarantined instead of being substituted for a run.
+func (t *Tracker) CorruptArtifact(path string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.corrupt++
+	t.mu.Unlock()
+}
+
 // Stats returns the current sweep view; nil trackers return the zero
 // value.
 func (t *Tracker) Stats() SweepStats {
@@ -178,7 +208,9 @@ func (t *Tracker) Stats() SweepStats {
 	}
 	st := SweepStats{
 		Total: t.total, Done: t.done, Failed: t.failed, Cached: t.cached,
-		Active: len(t.active), Retries: t.retries, Events: t.events,
+		Active: len(t.active), Retries: t.retries,
+		Quarantined: t.quarantined, CorruptArtifacts: t.corrupt,
+		Events:    t.events,
 		ElapsedMS: elapsed.Seconds() * 1e3,
 		JobMS:     t.jobHist.snapshot(1e-6),
 		Workers:   len(workers),
